@@ -1,0 +1,407 @@
+//! Heuristic parallelization (HP): static rewrite of a serial plan.
+//!
+//! Paper §4.2.1: "HP uses parameters such as the number of threads, physical
+//! memory size, and the largest table size to identify the number of
+//! partitions for the largest table in the serial plan. A plan re-writer
+//! generates a parallel plan from a serial plan by propagating the partitions
+//! to data flow dependent operators. ... in HP ... all possible
+//! parallelizable operators are parallelized."
+//!
+//! [`heuristic_parallelize`] implements that rewriter over the same plan IR
+//! the adaptive parallelizer mutates: every scan of the largest ("driver")
+//! table is split into `n_partitions` equi-range scans and the partitioning
+//! is propagated in topological order — a parallelizable operator whose
+//! aligned inputs are all partitioned is cloned once per partition; anything
+//! else receives the packed (exchange-union) result. This mirrors MonetDB's
+//! mitosis + mergetable optimizer pair.
+
+use std::collections::HashMap;
+
+use apq_columnar::Catalog;
+use apq_engine::plan::{NodeId, OperatorSpec, Plan};
+use apq_engine::{EngineError, Result};
+
+/// Rewrites `serial` into a statically parallelized plan with one partition
+/// per `n_partitions`, using the largest base table referenced by the plan as
+/// the partitioning driver (the heuristic MonetDB applies).
+pub fn heuristic_parallelize(
+    serial: &Plan,
+    catalog: &Catalog,
+    n_partitions: usize,
+) -> Result<Plan> {
+    let mut driver: Option<(String, usize)> = None;
+    for id in serial.node_ids() {
+        if let OperatorSpec::ScanColumn { table, .. } = &serial.node(id)?.spec {
+            let rows = catalog.table(table)?.row_count();
+            if driver.as_ref().map_or(true, |(_, best)| rows > *best) {
+                driver = Some((table.clone(), rows));
+            }
+        }
+    }
+    match driver {
+        Some((table, _)) => heuristic_parallelize_with_driver(serial, &table, n_partitions),
+        None => Ok(serial.clone()),
+    }
+}
+
+/// Rewrites `serial` by partitioning every scan of `driver_table` into
+/// `n_partitions` equi-range scans and propagating the partitioning.
+pub fn heuristic_parallelize_with_driver(
+    serial: &Plan,
+    driver_table: &str,
+    n_partitions: usize,
+) -> Result<Plan> {
+    serial.validate()?;
+    let n = n_partitions.max(1);
+    if n == 1 {
+        return Ok(serial.clone());
+    }
+
+    let mut out = Plan::new();
+    // serial node id -> single (unpartitioned) node in the new plan
+    let mut single: HashMap<NodeId, NodeId> = HashMap::new();
+    // serial node id -> its n partitioned versions in the new plan
+    let mut parts: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    // cache of exchange unions packing a partitioned node
+    let mut packed: HashMap<NodeId, NodeId> = HashMap::new();
+
+    for id in serial.topo_order()? {
+        let node = serial.node(id)?.clone();
+        match &node.spec {
+            OperatorSpec::ScanColumn { table, column, range }
+                if table == driver_table && range.len() >= n =>
+            {
+                let versions = range
+                    .split_even(n)
+                    .into_iter()
+                    .map(|r| {
+                        out.add(
+                            OperatorSpec::ScanColumn {
+                                table: table.clone(),
+                                column: column.clone(),
+                                range: r,
+                            },
+                            vec![],
+                        )
+                    })
+                    .collect();
+                parts.insert(id, versions);
+            }
+            spec => {
+                let flags = spec.aligned_inputs(node.inputs.len());
+                let aligned_partitioned: Vec<bool> = node
+                    .inputs
+                    .iter()
+                    .zip(&flags)
+                    .map(|(input, &aligned)| aligned && parts.contains_key(input))
+                    .collect();
+                let any_partitioned = aligned_partitioned.iter().any(|&b| b);
+                let all_aligned_partitioned = node
+                    .inputs
+                    .iter()
+                    .zip(&flags)
+                    .filter(|&(_, &aligned)| aligned)
+                    .all(|(input, _)| parts.contains_key(input));
+
+                if spec.is_parallelizable() && any_partitioned && all_aligned_partitioned {
+                    // Clone once per partition, propagating the partitioned inputs.
+                    // Broadcast inputs that are themselves partitioned (other
+                    // columns of the driver table, or intermediates derived
+                    // from the same partitioned pipeline) use the matching
+                    // partition: their oid / positional domain is the
+                    // partition's domain, so packing them globally would
+                    // mis-align tuple reconstruction (paper Fig. 9 hazards).
+                    let mut versions = Vec::with_capacity(n);
+                    for k in 0..n {
+                        let mut inputs = Vec::with_capacity(node.inputs.len());
+                        for (input, &aligned) in node.inputs.iter().zip(&flags) {
+                            if aligned {
+                                inputs.push(parts[input][k]);
+                            } else if let Some(broadcast_parts) = parts.get(input) {
+                                inputs.push(broadcast_parts[k]);
+                            } else {
+                                inputs.push(resolve_single(
+                                    &mut out,
+                                    *input,
+                                    &single,
+                                    &parts,
+                                    &mut packed,
+                                )?);
+                            }
+                        }
+                        versions.push(out.add(spec.clone(), inputs));
+                    }
+                    parts.insert(id, versions);
+                } else {
+                    // Keep the operator single; merging combiners absorb the
+                    // partitioned versions directly, everything else reads a
+                    // packed exchange union.
+                    let splices_partials = matches!(
+                        spec,
+                        OperatorSpec::FinalizeAgg { .. } | OperatorSpec::MergeGrouped
+                            | OperatorSpec::ExchangeUnion
+                    );
+                    let mut inputs = Vec::new();
+                    for input in &node.inputs {
+                        if let Some(versions) = parts.get(input) {
+                            if splices_partials {
+                                inputs.extend(versions.iter().copied());
+                            } else {
+                                inputs.push(resolve_single(
+                                    &mut out,
+                                    *input,
+                                    &single,
+                                    &parts,
+                                    &mut packed,
+                                )?);
+                            }
+                        } else {
+                            inputs.push(*single.get(input).ok_or_else(|| {
+                                EngineError::InvalidPlan(format!(
+                                    "input {input} of node {id} was not rewritten"
+                                ))
+                            })?);
+                        }
+                    }
+                    let new_id = out.add(spec.clone(), inputs);
+                    single.insert(id, new_id);
+                }
+            }
+        }
+    }
+
+    // Root: pack it if the root operator itself ended up partitioned.
+    let root = serial
+        .root()
+        .ok_or_else(|| EngineError::InvalidPlan("serial plan has no root".to_string()))?;
+    let new_root = if let Some(&s) = single.get(&root) {
+        s
+    } else {
+        resolve_single(&mut out, root, &single, &parts, &mut packed)?
+    };
+    out.set_root(new_root);
+    out.validate()?;
+    Ok(out)
+}
+
+/// Returns an unpartitioned node producing the output of serial node `id`:
+/// either its direct rewrite or an exchange union packing its partitions.
+fn resolve_single(
+    out: &mut Plan,
+    id: NodeId,
+    single: &HashMap<NodeId, NodeId>,
+    parts: &HashMap<NodeId, Vec<NodeId>>,
+    packed: &mut HashMap<NodeId, NodeId>,
+) -> Result<NodeId> {
+    if let Some(&s) = single.get(&id) {
+        return Ok(s);
+    }
+    if let Some(&u) = packed.get(&id) {
+        return Ok(u);
+    }
+    let versions = parts.get(&id).ok_or_else(|| {
+        EngineError::InvalidPlan(format!("node {id} was not rewritten by the HP rewriter"))
+    })?;
+    let union = out.add(OperatorSpec::ExchangeUnion, versions.clone());
+    packed.insert(id, union);
+    Ok(union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_columnar::{ScalarValue, TableBuilder};
+    use apq_engine::{Engine, QueryOutput};
+    use apq_operators::{AggFunc, BinaryOp, CmpOp, Predicate};
+    use std::sync::Arc;
+
+    fn catalog(rows: usize) -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("fact")
+                .i64_column("a", (0..rows as i64).map(|v| (v * 37) % 500).collect())
+                .i64_column("b", (0..rows as i64).map(|v| v % 101).collect())
+                .i64_column("fk", (0..rows as i64).map(|v| v % 50).collect())
+                .i64_column("g", (0..rows as i64).map(|v| v % 7).collect())
+                .build()
+                .unwrap(),
+        );
+        c.register(
+            TableBuilder::new("dim")
+                .i64_column("id", (0..50).collect())
+                .i64_column("attr", (0..50).map(|v| v * 2).collect())
+                .build()
+                .unwrap(),
+        );
+        Arc::new(c)
+    }
+
+    fn scan(table: &str, column: &str, rows: usize) -> OperatorSpec {
+        OperatorSpec::ScanColumn { table: table.into(), column: column.into(), range: RowRange::new(0, rows) }
+    }
+
+    /// Serial plan: sum(b) where a < 100 (filter + fetch + aggregate).
+    fn filter_sum_plan(rows: usize) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(scan("fact", "a", rows), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let b = p.add(scan("fact", "b", rows), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    /// Serial plan with a join: sum(attr * b) for fact rows where a < 100,
+    /// joining fact.fk with dim.id (hash built on the dimension).
+    fn join_plan(rows: usize) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(scan("fact", "a", rows), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let fk = p.add(scan("fact", "fk", rows), vec![]);
+        let keys = p.add(OperatorSpec::Fetch, vec![sel, fk]);
+        let dim_id = p.add(scan("dim", "id", 50), vec![]);
+        let build = p.add(OperatorSpec::HashBuild, vec![dim_id]);
+        let probe = p.add(OperatorSpec::HashProbe, vec![keys, build]);
+        let outer = p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Outer }, vec![probe]);
+        let inner = p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Inner }, vec![probe]);
+        let b = p.add(scan("fact", "b", rows), vec![]);
+        let bvals = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let b_j = p.add(OperatorSpec::Fetch, vec![outer, bvals]);
+        let attr = p.add(scan("dim", "attr", 50), vec![]);
+        let attr_j = p.add(OperatorSpec::Fetch, vec![inner, attr]);
+        let prod = p.add(
+            OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            vec![attr_j, b_j],
+        );
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![prod]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    /// Grouped plan: select g, sum(b) where a < 100 group by g.
+    fn grouped_plan(rows: usize) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(scan("fact", "a", rows), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let g = p.add(scan("fact", "g", rows), vec![]);
+        let b = p.add(scan("fact", "b", rows), vec![]);
+        let fetch_g = p.add(OperatorSpec::Fetch, vec![sel, g]);
+        let fetch_b = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![fetch_g, fetch_b]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        p
+    }
+
+    #[test]
+    fn hp_partitions_the_largest_table_and_preserves_results() {
+        let rows = 10_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(4);
+        let serial = filter_sum_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+
+        let hp = heuristic_parallelize(&serial, &cat, 8).unwrap();
+        hp.validate().unwrap();
+        // All parallelizable operators were parallelized 8 ways.
+        assert_eq!(hp.count_of("select"), 8);
+        assert_eq!(hp.count_of("fetch"), 8);
+        assert_eq!(hp.count_of("aggregate"), 8);
+        // 8 partitions of `a` + 8 of `b` (both columns belong to the driver table).
+        assert_eq!(hp.count_of("scan"), 16);
+        let out = engine.execute(&hp, &cat).unwrap().output;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn hp_join_plan_partitions_outer_side_only() {
+        let rows = 8_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(4);
+        let serial = join_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+        assert!(matches!(expected, QueryOutput::Scalar(ScalarValue::I64(_))));
+
+        let hp = heuristic_parallelize(&serial, &cat, 4).unwrap();
+        hp.validate().unwrap();
+        // The probe side is cloned per partition, the build side stays single.
+        assert_eq!(hp.count_of("join"), 4);
+        assert_eq!(hp.count_of("hashbuild"), 1);
+        let out = engine.execute(&hp, &cat).unwrap().output;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn hp_grouped_plan_merges_partials() {
+        let rows = 9_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(4);
+        let serial = grouped_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+        let hp = heuristic_parallelize(&serial, &cat, 6).unwrap();
+        hp.validate().unwrap();
+        assert_eq!(hp.count_of("groupby"), 6);
+        assert_eq!(hp.count_of("mergegroup"), 1);
+        let out = engine.execute(&hp, &cat).unwrap().output;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_partition_or_no_scans_returns_the_serial_plan() {
+        let rows = 1_000;
+        let cat = catalog(rows);
+        let serial = filter_sum_plan(rows);
+        let same = heuristic_parallelize(&serial, &cat, 1).unwrap();
+        assert_eq!(same.node_count(), serial.node_count());
+
+        // A plan without scans is returned untouched.
+        let mut p = Plan::new();
+        let c = p.add(
+            OperatorSpec::CalcScalars { op: BinaryOp::Add },
+            vec![],
+        );
+        // Fix arity by rebuilding a valid two-input scalar plan.
+        let mut p2 = Plan::new();
+        let a = p2.add(scan("fact", "a", rows), vec![]);
+        let agg = p2.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![a]);
+        let fin = p2.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p2.set_root(fin);
+        let hp = heuristic_parallelize_with_driver(&p2, "missing_table", 4).unwrap();
+        assert_eq!(hp.count_of("aggregate"), 1);
+        let _ = (p, c);
+    }
+
+    #[test]
+    fn explicit_driver_table_controls_partitioning() {
+        let rows = 5_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(4);
+        let serial = join_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+        // Partition by the dimension table instead: the probe pipeline stays
+        // serial, the build side's scan is packed back together.
+        let hp = heuristic_parallelize_with_driver(&serial, "dim", 4).unwrap();
+        hp.validate().unwrap();
+        assert_eq!(hp.count_of("join"), 1);
+        let out = engine.execute(&hp, &cat).unwrap().output;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn more_partitions_than_rows_is_clamped_by_split_even() {
+        let rows = 2_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(2);
+        let serial = filter_sum_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+        let hp = heuristic_parallelize(&serial, &cat, 64).unwrap();
+        hp.validate().unwrap();
+        let out = engine.execute(&hp, &cat).unwrap().output;
+        assert_eq!(out, expected);
+        assert_eq!(hp.count_of("select"), 64);
+    }
+}

@@ -1,0 +1,94 @@
+//! Work-stealing-style baseline: many small static partitions over few threads.
+//!
+//! Paper §4.1.1: "One may argue that the work stealing approach could solve
+//! the problem of execution skew due to the static partitions. We analyze it
+//! by creating a large number of smaller partitions (128) operated upon by 8
+//! threads. Large number of smaller partitions allows those threads that
+//! finish work early to operate on remaining partitions, while threads on
+//! skewed partitions stay busy."
+//!
+//! The execution engine's shared task queue already behaves like a
+//! work-stealing pool (idle workers pull the next ready operator), so the
+//! baseline reduces to generating a statically over-partitioned plan and
+//! running it on an engine with fewer workers than partitions.
+
+use apq_columnar::Catalog;
+use apq_engine::{Plan, Result};
+
+use crate::heuristic::heuristic_parallelize;
+
+/// Default over-partitioning factor used by the paper (128 partitions for 8 threads).
+pub const DEFAULT_WORK_STEALING_PARTITIONS: usize = 128;
+
+/// Builds the work-stealing-style plan: the serial plan statically
+/// parallelized into `n_partitions` small partitions (typically far more than
+/// the number of worker threads).
+pub fn work_stealing_plan(
+    serial: &Plan,
+    catalog: &Catalog,
+    n_partitions: usize,
+) -> Result<Plan> {
+    heuristic_parallelize(serial, catalog, n_partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_columnar::TableBuilder;
+    use apq_engine::plan::OperatorSpec;
+    use apq_engine::Engine;
+    use apq_operators::{AggFunc, CmpOp, Predicate};
+    use std::sync::Arc;
+
+    fn catalog(rows: usize) -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("fact")
+                .i64_column("a", (0..rows as i64).map(|v| v % 997).collect())
+                .i64_column("b", (0..rows as i64).map(|v| v % 13).collect())
+                .build()
+                .unwrap(),
+        );
+        Arc::new(c)
+    }
+
+    fn serial_plan(rows: usize) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(
+            OperatorSpec::ScanColumn { table: "fact".into(), column: "a".into(), range: RowRange::new(0, rows) },
+            vec![],
+        );
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let b = p.add(
+            OperatorSpec::ScanColumn { table: "fact".into(), column: "b".into(), range: RowRange::new(0, rows) },
+            vec![],
+        );
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    #[test]
+    fn over_partitioned_plan_runs_on_few_threads_and_matches_serial() {
+        let rows = 20_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(4); // far fewer workers than partitions
+        let serial = serial_plan(rows);
+        let expected = engine.execute(&serial, &cat).unwrap().output;
+        let ws = work_stealing_plan(&serial, &cat, 32).unwrap();
+        ws.validate().unwrap();
+        assert_eq!(ws.count_of("select"), 32);
+        let exec = engine.execute(&ws, &cat).unwrap();
+        assert_eq!(exec.output, expected);
+        // With 32 partitions on 4 workers every worker executes something.
+        assert_eq!(exec.profile.workers_used(), 4);
+    }
+
+    #[test]
+    fn default_partition_count_matches_the_paper() {
+        assert_eq!(DEFAULT_WORK_STEALING_PARTITIONS, 128);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 1 bench: a heuristically parallelized TPC-H query at several
+//! degrees of parallelism. Also prints the reproduced concurrent-workload
+//! series (the criterion measurements themselves run in isolation).
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig1", &cfg).expect("fig1 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let serial = TpchQuery::Q9.build(&catalog).unwrap();
+    let mut group = c.benchmark_group("fig01_q9_by_dop");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dop in [2usize, cfg.workers, cfg.workers * 2] {
+        let plan = heuristic_parallelize(&serial, &catalog, dop).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dop), &plan, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 14 bench: serial vs adaptively parallelized select plan at the
+//! three selectivity points of the paper. Also prints the reproduced series.
+
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::micro::select_sweep;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig14", &cfg).expect("fig14 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = select_sweep::catalog(cfg.micro_rows, cfg.seed);
+    let mut group = c.benchmark_group("fig14_select_plan");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for selectivity in [0i64, 50, 100] {
+        let serial = select_sweep::plan(&catalog, selectivity).unwrap();
+        let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+        group.bench_with_input(BenchmarkId::new("serial", selectivity), &serial, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_best", selectivity),
+            &report.best_plan,
+            |b, plan| b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 15 bench: serial vs adaptive join plans for two outer-input sizes.
+//! Also prints the reproduced convergence series.
+
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::micro::join_sweep;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig15", &cfg).expect("fig15 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let inner_rows = (cfg.micro_rows / 200).max(64);
+    let mut group = c.benchmark_group("fig15_join_plan");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for outer in [cfg.micro_rows, cfg.micro_rows / 5] {
+        let catalog = join_sweep::catalog(outer, inner_rows, cfg.seed);
+        let serial = join_sweep::plan(&catalog).unwrap();
+        let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+        group.bench_with_input(BenchmarkId::new("serial", outer), &serial, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_best", outer),
+            &report.best_plan,
+            |b, plan| b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 16 bench: TPC-H Q14 and Q6 under serial, heuristic and adaptive
+//! plans (isolated). Also prints the reproduced isolated + concurrent tables.
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig16", &cfg).expect("fig16 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let mut group = c.benchmark_group("fig16_tpch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for query in [TpchQuery::Q6, TpchQuery::Q14] {
+        let serial = query.build(&catalog).unwrap();
+        let hp = heuristic_parallelize(&serial, &catalog, engine.n_workers()).unwrap();
+        let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+        group.bench_with_input(BenchmarkId::new("serial", query), &serial, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", query), &hp, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", query),
+            &report.best_plan,
+            |b, plan| b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

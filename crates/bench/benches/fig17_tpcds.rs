@@ -1,0 +1,39 @@
+//! Figure 17 bench: the first TPC-DS-like query under serial, heuristic and
+//! adaptive plans on the skewed star schema. Also prints the reproduced
+//! tables for both machine configurations.
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::tpcds::{self, TpcdsQuery, TpcdsScale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig17", &cfg).expect("fig17 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpcds::generate(TpcdsScale::new(cfg.tpcds_sf), cfg.seed);
+    let mut group = c.benchmark_group("fig17_tpcds");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for query in [TpcdsQuery::Q1, TpcdsQuery::Q3] {
+        let serial = query.build(&catalog).unwrap();
+        let hp = heuristic_parallelize(&serial, &catalog, engine.n_workers()).unwrap();
+        let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+        group.bench_with_input(BenchmarkId::new("heuristic", query), &hp, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", query),
+            &report.best_plan,
+            |b, plan| b.iter(|| black_box(engine.execute(plan, &catalog).unwrap().output.rows())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 18 bench: a complete adaptive-parallelization episode (all runs of
+//! one query until convergence) — the cost the paper's robustness experiment
+//! pays per invocation. Also prints the reproduced robustness tables.
+
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.adaptive_max_runs = 4; // keep the printed experiment fast
+    for table in run_experiment("fig18", &cfg).expect("fig18 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let q6 = TpchQuery::Q6.build(&catalog).unwrap();
+    let q14 = TpchQuery::Q14.build(&catalog).unwrap();
+
+    let mut group = c.benchmark_group("fig18_adaptive_episode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("q6_full_episode", |b| {
+        b.iter(|| black_box(common::adaptive(&cfg, &engine, &catalog, &q6).total_runs))
+    });
+    group.bench_function("q14_full_episode", |b| {
+        b.iter(|| black_box(common::adaptive(&cfg, &engine, &catalog, &q14).total_runs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 19/20 bench: executing the adaptive (low multi-core utilization)
+//! and heuristic (high multi-core utilization) Q14 plans whose traces the
+//! figures show. Also prints the reproduced metrics and ASCII timelines.
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::tpch::{self, queries::q14, TpchScale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("fig19", &cfg).expect("fig19 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let serial = q14(&catalog).unwrap();
+    let hp = heuristic_parallelize(&serial, &catalog, engine.n_workers()).unwrap();
+    let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+
+    let mut group = c.benchmark_group("fig19_q14_utilization");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("adaptive_plan", |b| {
+        b.iter(|| {
+            let exec = engine.execute(&report.best_plan, &catalog).unwrap();
+            black_box(exec.profile.multi_core_utilization())
+        })
+    });
+    group.bench_function("heuristic_plan", |b| {
+        b.iter(|| {
+            let exec = engine.execute(&hp, &catalog).unwrap();
+            black_box(exec.profile.multi_core_utilization())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

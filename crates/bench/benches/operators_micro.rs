@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the individual physical operators (select, fetch,
+//! hash join, aggregation, exchange union) — the building blocks whose
+//! per-operator costs drive every experiment in the paper.
+
+use apq_columnar::datagen::uniform_i64;
+use apq_columnar::Column;
+use apq_operators::{
+    grouped_agg, pack_oids, scalar_agg, select, AggFunc, CmpOp, JoinHashTable, Predicate,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const ROWS: usize = 100_000;
+
+fn bench_select(c: &mut Criterion) {
+    let column = Column::from_i64(uniform_i64(ROWS, 0, 1_000, 1));
+    let predicate = Predicate::cmp(CmpOp::Lt, 250i64);
+    c.bench_function("operators/select_25pct_100k", |b| {
+        b.iter(|| black_box(select(&column, &predicate).unwrap().len()))
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let column = Column::from_i64(uniform_i64(ROWS, 0, 1_000, 2));
+    let oids: Vec<u64> = (0..ROWS as u64).step_by(4).collect();
+    c.bench_function("operators/fetch_25k_of_100k", |b| {
+        b.iter(|| black_box(column.gather_oids(&oids).unwrap().len()))
+    });
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let inner = Column::from_i64((0..1_000).collect());
+    let outer = Column::from_i64(uniform_i64(ROWS, 0, 1_000, 3));
+    let table = JoinHashTable::build(&inner).unwrap();
+    c.bench_function("operators/hash_build_1k", |b| {
+        b.iter(|| black_box(JoinHashTable::build(&inner).unwrap().len()))
+    });
+    c.bench_function("operators/hash_probe_100k", |b| {
+        b.iter(|| black_box(table.probe(&outer).unwrap().len()))
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let values = Column::from_i64(uniform_i64(ROWS, 0, 1_000, 4));
+    let keys = Column::from_i64(uniform_i64(ROWS, 0, 32, 5));
+    c.bench_function("operators/sum_100k", |b| {
+        b.iter(|| black_box(scalar_agg(AggFunc::Sum, &values).unwrap().finish()))
+    });
+    c.bench_function("operators/group_sum_100k_32groups", |b| {
+        b.iter(|| black_box(grouped_agg(AggFunc::Sum, &keys, &values).unwrap().len()))
+    });
+}
+
+fn bench_exchange_union(c: &mut Criterion) {
+    let parts: Vec<Vec<u64>> =
+        (0..8).map(|p| (0..ROWS as u64 / 8).map(|i| p * 10_000 + i).collect()).collect();
+    c.bench_function("operators/pack_oids_8x12k", |b| {
+        b.iter(|| black_box(pack_oids(&parts).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_select, bench_fetch, bench_hash_join, bench_aggregate, bench_exchange_union
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 bench: serial vs adaptive (AP) vs heuristic (HP) select plans.
+//! Also prints the reproduced speedup grid.
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_workloads::micro::select_sweep;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("table2", &cfg).expect("table2 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = select_sweep::catalog(cfg.micro_rows, cfg.seed);
+    let serial = select_sweep::plan(&catalog, 50).unwrap();
+    let hp = heuristic_parallelize(&serial, &catalog, engine.n_workers()).unwrap();
+    let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+
+    let mut group = c.benchmark_group("table2_select_50pct");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(engine.execute(&serial, &catalog).unwrap().output.rows()))
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| black_box(engine.execute(&report.best_plan, &catalog).unwrap().output.rows()))
+    });
+    group.bench_function("heuristic", |b| {
+        b.iter(|| black_box(engine.execute(&hp, &catalog).unwrap().output.rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

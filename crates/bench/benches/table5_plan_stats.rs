@@ -1,0 +1,45 @@
+//! Table 5 bench: executing the adaptive vs heuristic TPC-H Q14 plans (the
+//! plans whose operator counts and utilization the table reports), plus the
+//! cost of one plan mutation step. Also prints the reproduced table.
+
+use apq_baselines::heuristic_parallelize;
+use apq_bench::{common, run_experiment, ExperimentConfig};
+use apq_core::mutate_most_expensive;
+use apq_workloads::tpch::{self, queries::q14, TpchScale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::smoke();
+    for table in run_experiment("table5", &cfg).expect("table5 exists") {
+        println!("{}", table.render());
+    }
+
+    let engine = common::engine(&cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let serial = q14(&catalog).unwrap();
+    let hp = heuristic_parallelize(&serial, &catalog, engine.n_workers()).unwrap();
+    let report = common::adaptive(&cfg, &engine, &catalog, &serial);
+    let profile = engine.execute(&serial, &catalog).unwrap().profile;
+    let adaptive_cfg = common::adaptive_config(&cfg, &engine);
+
+    let mut group = c.benchmark_group("table5_q14");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("execute_adaptive_plan", |b| {
+        b.iter(|| black_box(engine.execute(&report.best_plan, &catalog).unwrap().output.rows()))
+    });
+    group.bench_function("execute_heuristic_plan", |b| {
+        b.iter(|| black_box(engine.execute(&hp, &catalog).unwrap().output.rows()))
+    });
+    group.bench_function("one_plan_mutation", |b| {
+        b.iter(|| {
+            let mut plan = serial.clone();
+            black_box(mutate_most_expensive(&mut plan, &profile, &adaptive_cfg).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

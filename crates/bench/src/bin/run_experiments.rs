@@ -1,0 +1,88 @@
+//! Runs the experiments that reproduce the paper's tables and figures and
+//! prints the resulting series.
+//!
+//! Usage:
+//!
+//! ```text
+//! run_experiments                 # every experiment, quick sizes
+//! run_experiments --full          # every experiment, larger sizes
+//! run_experiments fig12 table5    # a subset
+//! run_experiments --list          # list experiment ids
+//! ```
+
+use std::time::Instant;
+
+use apq_bench::{run_experiment, ExperimentConfig, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, description) in EXPERIMENTS {
+            println!("{id:<8} {description}");
+        }
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = if full {
+        ExperimentConfig::full()
+    } else if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::quick()
+    };
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let selected: Vec<&str> = if requested.is_empty() {
+        EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        requested
+    };
+
+    println!(
+        "adaptive query parallelization — experiment harness ({} mode, {} workers, TPC-H sf {}, TPC-DS sf {}, {} micro rows)",
+        if full { "full" } else if smoke { "smoke" } else { "quick" },
+        cfg.workers,
+        cfg.tpch_sf,
+        cfg.tpcds_sf,
+        cfg.micro_rows
+    );
+    println!();
+
+    let total = Instant::now();
+    for id in selected {
+        let started = Instant::now();
+        match run_experiment(id, &cfg) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{}", table.render());
+                }
+                println!("[{id} completed in {:.1}s]", started.elapsed().as_secs_f64());
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment id '{id}' — use --list to see the available ids");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("all requested experiments completed in {:.1}s", total.elapsed().as_secs_f64());
+}
+
+fn print_usage() {
+    println!("run_experiments [--full|--smoke] [--list] [experiment ids...]");
+    println!();
+    println!("Reproduces the tables and figures of 'Adaptive query parallelization in");
+    println!("multi-core column stores' (EDBT 2016) on the bundled Rust engine.");
+    println!();
+    for (id, description) in EXPERIMENTS {
+        println!("  {id:<8} {description}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 1: response-time variation of heuristically parallelized TPC-H
+//! queries under different degrees of parallelism while a saturating
+//! concurrent workload runs.
+//!
+//! The paper's point: with all cores busy, no single static DOP is best for
+//! every query — which motivates choosing the DOP through execution feedback.
+
+use std::sync::Arc;
+
+use apq_baselines::heuristic_parallelize;
+use apq_workloads::concurrent::{measure_under_load, BackgroundLoad};
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+
+use crate::common::engine;
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// The queries whose response time is measured (three, like the paper).
+pub const MEASURED: [TpchQuery; 3] = [TpchQuery::Q4, TpchQuery::Q9, TpchQuery::Q19];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let workers = engine.n_workers();
+    let dops = [workers.div_ceil(4).max(2), workers.div_ceil(2).max(2), workers];
+
+    // Saturating background load: every evaluated query, heuristically
+    // parallelized, fired by `concurrent_clients` clients.
+    let background: Vec<_> = TpchQuery::all()
+        .iter()
+        .map(|q| {
+            let serial = q.build(&catalog).expect("query builds");
+            heuristic_parallelize(&serial, &catalog, workers).expect("HP plan builds")
+        })
+        .collect();
+    let load = BackgroundLoad::start(
+        Arc::clone(&engine),
+        Arc::clone(&catalog),
+        background,
+        cfg.concurrent_clients,
+        cfg.seed,
+    );
+
+    let mut table = ExperimentTable::new(
+        "Figure 1",
+        format!(
+            "TPC-H response time (ms) vs degree of parallelism under a concurrent workload ({} clients, {} workers)",
+            cfg.concurrent_clients, workers
+        ),
+        &["query", "DOP", "response_ms"],
+    );
+    for query in MEASURED {
+        let serial = query.build(&catalog).expect("query builds");
+        for &dop in &dops {
+            let plan = heuristic_parallelize(&serial, &catalog, dop).expect("HP plan builds");
+            let m = measure_under_load(&engine, &catalog, &plan, cfg.measure_reps)
+                .expect("measurement succeeds");
+            table.row(vec![query.to_string(), dop.to_string(), fmt_ms(m.mean_ms())]);
+        }
+    }
+    load.stop();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_query_at_every_dop() {
+        let tables = run(&ExperimentConfig::smoke());
+        let t = &tables[0];
+        assert_eq!(t.len(), MEASURED.len() * 3);
+        for row in &t.rows {
+            assert!(row[2].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 11: execution time per adaptive run for a join-operator plan.
+//!
+//! The paper plots the per-run execution times of adaptively parallelizing a
+//! join plan, showing the steep initial descent, local minima, plateaus and
+//! the occasional noise peak the convergence algorithm has to survive.
+
+use apq_workloads::micro::join_sweep;
+
+use crate::common::{adaptive, engine, us_to_ms};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// Runs the experiment and returns the convergence-curve series.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let outer_rows = cfg.micro_rows;
+    let inner_rows = (cfg.micro_rows / 200).max(64);
+    let catalog = join_sweep::catalog(outer_rows, inner_rows, cfg.seed);
+    let serial = join_sweep::plan(&catalog).expect("join micro plan builds");
+    let report = adaptive(cfg, &engine, &catalog, &serial);
+
+    let mut table = ExperimentTable::new(
+        "Figure 11",
+        format!(
+            "adaptive convergence of a join plan ({outer_rows} outer rows x {inner_rows} inner rows, {} workers)",
+            engine.n_workers()
+        ),
+        &["run", "time_ms", "mutation", "plan_nodes", "balance"],
+    );
+    for record in &report.records {
+        table.row(vec![
+            record.run.to_string(),
+            fmt_ms(us_to_ms(record.exec_us)),
+            record.mutation.map(|m| m.to_string()).unwrap_or_else(|| "serial".to_string()),
+            record.plan_nodes.to_string(),
+            format!("{:.2}", record.balance),
+        ]);
+    }
+
+    let mut summary = ExperimentTable::new(
+        "Figure 11 (summary)",
+        "global minimum and convergence statistics",
+        &["serial_ms", "gme_ms", "gme_run", "best_ms", "best_run", "total_runs", "speedup"],
+    );
+    summary.row(vec![
+        fmt_ms(us_to_ms(report.serial_us)),
+        fmt_ms(us_to_ms(report.gme_us)),
+        report.gme_run.to_string(),
+        fmt_ms(us_to_ms(report.best_us)),
+        report.best_run.to_string(),
+        report.total_runs.to_string(),
+        format!("{:.2}x", report.speedup()),
+    ]);
+    vec![table, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_curve_and_summary() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].len() >= 2, "at least the serial run plus one adaptive run");
+        assert_eq!(tables[1].len(), 1);
+        // The first row is the serial run.
+        assert_eq!(tables[0].rows[0][0], "0");
+        assert_eq!(tables[0].rows[0][2], "serial");
+    }
+}

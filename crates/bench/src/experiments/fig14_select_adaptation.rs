@@ -1,0 +1,64 @@
+//! Figure 14: adaptive select-plan execution time per run, for two input
+//! sizes and selectivities 0 % (all rows output), 50 % and 100 % (no output).
+
+use apq_workloads::micro::select_sweep;
+
+use crate::common::{adaptive, engine};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// The selectivity points the paper sweeps (its convention: the percentage of
+/// rows *filtered out*, so 0 % emits everything).
+pub const SELECTIVITIES: [i64; 3] = [0, 50, 100];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let sizes = [cfg.micro_rows, cfg.micro_rows / 2];
+    let mut table = ExperimentTable::new(
+        "Figure 14",
+        format!(
+            "adaptive select plan: execution time per run, sizes {:?} rows, {} workers",
+            sizes,
+            engine.n_workers()
+        ),
+        &["rows", "selectivity_%", "run", "time_ms"],
+    );
+    for &rows in &sizes {
+        let catalog = select_sweep::catalog(rows, cfg.seed);
+        for &sel in &SELECTIVITIES {
+            let serial = select_sweep::plan(&catalog, sel).expect("sweep plan builds");
+            let report = adaptive(cfg, &engine, &catalog, &serial);
+            for (run, ms) in report.convergence_curve() {
+                table.row(vec![
+                    rows.to_string(),
+                    sel.to_string(),
+                    run.to_string(),
+                    fmt_ms(ms),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_series_for_every_size_and_selectivity() {
+        let cfg = ExperimentConfig::smoke();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        // Two sizes x three selectivities, each with at least the serial run.
+        assert!(t.len() >= 6);
+        let selectivities: std::collections::HashSet<&str> =
+            t.rows.iter().map(|r| r[1].as_str()).collect();
+        assert_eq!(selectivities.len(), 3);
+        for row in &t.rows {
+            assert!(row[3].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

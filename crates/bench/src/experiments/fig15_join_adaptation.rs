@@ -1,0 +1,48 @@
+//! Figure 15: adaptive join-plan execution time per run, sweeping the outer
+//! (partitioned) input size while the inner (hash build) input stays small.
+
+use apq_workloads::micro::join_sweep;
+
+use crate::common::{adaptive, engine};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    // Outer sizes mirror the paper's 3200 / 2000 / 640 MB progression.
+    let outer_sizes = [cfg.micro_rows, cfg.micro_rows * 5 / 8, cfg.micro_rows / 5];
+    let inner_rows = (cfg.micro_rows / 200).max(64);
+
+    let mut table = ExperimentTable::new(
+        "Figure 15",
+        format!(
+            "adaptive join plan: execution time per run (inner input {inner_rows} rows, {} workers)",
+            engine.n_workers()
+        ),
+        &["outer_rows", "run", "time_ms"],
+    );
+    for &outer in &outer_sizes {
+        let catalog = join_sweep::catalog(outer, inner_rows, cfg.seed);
+        let serial = join_sweep::plan(&catalog).expect("join plan builds");
+        let report = adaptive(cfg, &engine, &catalog, &serial);
+        for (run, ms) in report.convergence_curve() {
+            table.row(vec![outer.to_string(), run.to_string(), fmt_ms(ms)]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_series_per_outer_size() {
+        let tables = run(&ExperimentConfig::smoke());
+        let t = &tables[0];
+        let sizes: std::collections::HashSet<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(sizes.len(), 3);
+        assert!(t.len() >= 6);
+    }
+}

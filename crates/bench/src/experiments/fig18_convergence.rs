@@ -1,0 +1,79 @@
+//! Figure 18 (A–D): robustness of the convergence algorithm across repeated
+//! adaptive-parallelization invocations of every evaluated TPC-H query.
+//!
+//! * A — total convergence runs per invocation;
+//! * B — the run at which the global minimum (GME) occurs;
+//! * C — the global minimum execution time;
+//! * D — GME run vs total convergence runs (how quickly the search stops
+//!   after finding the minimum).
+
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+
+use crate::common::{adaptive, engine, us_to_ms};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, ExperimentTable};
+
+/// Number of adaptive invocations per query (the paper uses three).
+pub const INVOCATIONS: usize = 3;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+
+    let mut per_invocation = ExperimentTable::new(
+        "Figure 18 (A-C)",
+        "convergence runs, GME run and GME time per adaptive invocation",
+        &["query", "invocation", "convergence_runs", "gme_run", "gme_ms", "best_ms"],
+    );
+    let mut summary = ExperimentTable::new(
+        "Figure 18 (D)",
+        "global-minimum run vs total convergence runs (averaged over invocations)",
+        &["query", "avg_gme_run", "avg_total_runs"],
+    );
+
+    for query in TpchQuery::all() {
+        let serial = query.build(&catalog).expect("query builds");
+        let mut gme_runs = 0.0;
+        let mut total_runs = 0.0;
+        for invocation in 1..=INVOCATIONS {
+            let report = adaptive(cfg, &engine, &catalog, &serial);
+            per_invocation.row(vec![
+                query.to_string(),
+                invocation.to_string(),
+                report.total_runs.to_string(),
+                report.gme_run.to_string(),
+                fmt_ms(us_to_ms(report.gme_us)),
+                fmt_ms(us_to_ms(report.best_us)),
+            ]);
+            gme_runs += report.gme_run as f64;
+            total_runs += report.total_runs as f64;
+        }
+        summary.row(vec![
+            query.to_string(),
+            format!("{:.1}", gme_runs / INVOCATIONS as f64),
+            format!("{:.1}", total_runs / INVOCATIONS as f64),
+        ]);
+    }
+    vec![per_invocation, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_every_query_and_invocation() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.adaptive_max_runs = 4; // keep the smoke test fast
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 7 * INVOCATIONS);
+        assert_eq!(tables[1].len(), 7);
+        for row in &tables[1].rows {
+            let gme: f64 = row[1].parse().unwrap();
+            let total: f64 = row[2].parse().unwrap();
+            assert!(gme <= total, "GME run {gme} cannot exceed total runs {total}");
+        }
+    }
+}

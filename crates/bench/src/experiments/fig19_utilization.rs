@@ -1,0 +1,81 @@
+//! Figures 19 and 20: tomograph-style execution traces of TPC-H Q14 under
+//! adaptive (low multi-core utilization) and heuristic (high multi-core
+//! utilization) parallelization.
+//!
+//! The numeric table carries the utilization metrics; the rendered timelines
+//! (one lane per worker, as in the paper's figures) are attached as extra
+//! "tables" with a single text row each so that `run_experiments` prints them.
+
+use apq_baselines::heuristic_parallelize;
+use apq_workloads::tpch::{self, queries::q14, TpchScale};
+
+use crate::common::{adaptive, engine};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_percent, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let workers = engine.n_workers();
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let serial = q14(&catalog).expect("Q14 builds");
+
+    let report = adaptive(cfg, &engine, &catalog, &serial);
+    let ap_exec = engine.execute(&report.best_plan, &catalog).expect("AP executes");
+    let hp_plan = heuristic_parallelize(&serial, &catalog, workers).expect("HP builds");
+    let hp_exec = engine.execute(&hp_plan, &catalog).expect("HP executes");
+
+    let mut metrics = ExperimentTable::new(
+        "Figures 19/20 (metrics)",
+        format!("TPC-H Q14 isolated execution on {workers} workers"),
+        &["plan", "operators", "cpu_ms", "wall_ms", "parallelism_usage", "multi_core_utilization"],
+    );
+    for (label, exec) in [("adaptive (Fig. 19)", &ap_exec), ("heuristic (Fig. 20)", &hp_exec)] {
+        metrics.row(vec![
+            label.to_string(),
+            exec.profile.operators.len().to_string(),
+            format!("{:.3}", exec.profile.total_cpu_us() as f64 / 1000.0),
+            format!("{:.3}", exec.profile.wall_us() as f64 / 1000.0),
+            fmt_percent(exec.profile.parallelism_usage()),
+            fmt_percent(exec.profile.multi_core_utilization()),
+        ]);
+    }
+
+    let mut ap_trace = ExperimentTable::new(
+        "Figure 19 (trace)",
+        "adaptive Q14 worker timeline (S select, J join, U union, F fetch, C calc, A aggregate, . idle)",
+        &["timeline"],
+    );
+    for line in ap_exec.profile.timeline(72).lines() {
+        ap_trace.row(vec![line.to_string()]);
+    }
+    let mut hp_trace = ExperimentTable::new(
+        "Figure 20 (trace)",
+        "heuristic Q14 worker timeline",
+        &["timeline"],
+    );
+    for line in hp_exec.profile.timeline(72).lines() {
+        hp_trace.row(vec![line.to_string()]);
+    }
+    vec![metrics, ap_trace, hp_trace]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_metrics_and_two_traces() {
+        let cfg = ExperimentConfig::smoke();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 2);
+        // One header line plus one lane per worker.
+        assert_eq!(tables[1].len(), cfg.workers + 1);
+        assert_eq!(tables[2].len(), cfg.workers + 1);
+        // The HP plan executes at least as many operators as the AP plan.
+        let ap_ops: usize = tables[0].rows[0][1].parse().unwrap();
+        let hp_ops: usize = tables[0].rows[1][1].parse().unwrap();
+        assert!(hp_ops >= ap_ops);
+    }
+}

@@ -1,0 +1,29 @@
+//! One module per reproduced table / figure of the paper's evaluation.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig01_dop_variation`] | Figure 1 |
+//! | [`fig11_convergence_curve`] | Figure 11 |
+//! | [`fig12_skew`] | Figure 12 (data distribution of Figure 13) |
+//! | [`fig14_select_adaptation`] | Figure 14 |
+//! | [`table2_select_speedup`] | Table 2 |
+//! | [`fig15_join_adaptation`] | Figure 15 |
+//! | [`table3_join_speedup`] | Table 3 |
+//! | [`fig16_tpch`] | Figure 16 (queries of Table 4) |
+//! | [`fig17_tpcds`] | Figure 17 a/b |
+//! | [`table5_plan_stats`] | Table 5 |
+//! | [`fig18_convergence`] | Figure 18 A–D |
+//! | [`fig19_utilization`] | Figures 19 and 20 |
+
+pub mod fig01_dop_variation;
+pub mod fig11_convergence_curve;
+pub mod fig12_skew;
+pub mod fig14_select_adaptation;
+pub mod fig15_join_adaptation;
+pub mod fig16_tpch;
+pub mod fig17_tpcds;
+pub mod fig18_convergence;
+pub mod fig19_utilization;
+pub mod table2_select_speedup;
+pub mod table3_join_speedup;
+pub mod table5_plan_stats;

@@ -1,0 +1,63 @@
+//! Table 2: select-plan speedup (relative to serial execution) of adaptive
+//! parallelization (AP) and heuristic parallelization (HP), across input
+//! sizes and selectivities.
+
+use apq_baselines::heuristic_parallelize;
+use apq_workloads::micro::select_sweep;
+
+use crate::common::{adaptive, engine, time_plan_ms, us_to_ms};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ratio, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let hp_parts = engine.n_workers();
+    let sizes = [cfg.micro_rows, cfg.micro_rows / 2, cfg.micro_rows / 4];
+    let selectivities = [0i64, 50, 100];
+
+    let mut table = ExperimentTable::new(
+        "Table 2",
+        format!(
+            "select plan speedup vs serial execution (AP = adaptive, HP = heuristic with {hp_parts} partitions)"
+        ),
+        &["rows", "selectivity_%", "AP_speedup", "HP_speedup", "serial_ms"],
+    );
+    for &rows in &sizes {
+        let catalog = select_sweep::catalog(rows, cfg.seed);
+        for &sel in &selectivities {
+            let serial = select_sweep::plan(&catalog, sel).expect("sweep plan builds");
+            let serial_ms = time_plan_ms(&engine, &catalog, &serial, cfg.measure_reps);
+            let report = adaptive(cfg, &engine, &catalog, &serial);
+            let ap_ms = time_plan_ms(&engine, &catalog, &report.best_plan, cfg.measure_reps)
+                .min(us_to_ms(report.best_us));
+            let hp = heuristic_parallelize(&serial, &catalog, hp_parts).expect("HP plan builds");
+            let hp_ms = time_plan_ms(&engine, &catalog, &hp, cfg.measure_reps);
+            table.row(vec![
+                rows.to_string(),
+                sel.to_string(),
+                fmt_ratio(serial_ms / ap_ms.max(1e-6)),
+                fmt_ratio(serial_ms / hp_ms.max(1e-6)),
+                crate::reporting::fmt_ms(serial_ms),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_the_size_by_selectivity_grid() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 9);
+        for row in &tables[0].rows {
+            let ap: f64 = row[2].parse().unwrap();
+            let hp: f64 = row[3].parse().unwrap();
+            assert!(ap > 0.0 && hp > 0.0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 3: join-plan speedup (relative to serial execution) of adaptive and
+//! heuristic parallelization for an outer-size × inner-size grid.
+
+use apq_baselines::heuristic_parallelize;
+use apq_workloads::micro::join_sweep;
+
+use crate::common::{adaptive, engine, time_plan_ms, us_to_ms};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_ms, fmt_ratio, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let hp_parts = engine.n_workers();
+    let outer_sizes = [cfg.micro_rows, cfg.micro_rows * 5 / 8, cfg.micro_rows / 5];
+    // The paper's 64 MB / 16 MB inner inputs: a larger and a cache-friendly one.
+    let inner_sizes = [(cfg.micro_rows / 50).max(256), (cfg.micro_rows / 200).max(64)];
+
+    let mut table = ExperimentTable::new(
+        "Table 3",
+        format!(
+            "join plan speedup vs serial execution (outer input partitioned, hash built on the inner input; HP = {hp_parts} partitions)"
+        ),
+        &["outer_rows", "inner_rows", "AP_speedup", "HP_speedup", "serial_ms"],
+    );
+    for &outer in &outer_sizes {
+        for &inner in &inner_sizes {
+            let catalog = join_sweep::catalog(outer, inner, cfg.seed);
+            let serial = join_sweep::plan(&catalog).expect("join plan builds");
+            let serial_ms = time_plan_ms(&engine, &catalog, &serial, cfg.measure_reps);
+            let report = adaptive(cfg, &engine, &catalog, &serial);
+            let ap_ms = time_plan_ms(&engine, &catalog, &report.best_plan, cfg.measure_reps)
+                .min(us_to_ms(report.best_us));
+            let hp = heuristic_parallelize(&serial, &catalog, hp_parts).expect("HP plan builds");
+            let hp_ms = time_plan_ms(&engine, &catalog, &hp, cfg.measure_reps);
+            table.row(vec![
+                outer.to_string(),
+                inner.to_string(),
+                fmt_ratio(serial_ms / ap_ms.max(1e-6)),
+                fmt_ratio(serial_ms / hp_ms.max(1e-6)),
+                fmt_ms(serial_ms),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_the_outer_by_inner_grid() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables[0].len(), 6);
+        for row in &tables[0].rows {
+            assert!(row[2].parse::<f64>().unwrap() > 0.0);
+            assert!(row[3].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 5: plan statistics of TPC-H Q14 under adaptive vs heuristic
+//! parallelization — number of select operators, number of join operators and
+//! the multi-core utilization of an isolated execution.
+
+use apq_baselines::heuristic_parallelize;
+use apq_workloads::tpch::{self, queries::q14, TpchScale};
+
+use crate::common::{adaptive, engine};
+use crate::config::ExperimentConfig;
+use crate::reporting::{fmt_percent, ExperimentTable};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
+    let engine = engine(cfg);
+    let workers = engine.n_workers();
+    let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
+    let serial = q14(&catalog).expect("Q14 builds");
+
+    let report = adaptive(cfg, &engine, &catalog, &serial);
+    let ap_plan = &report.best_plan;
+    let ap_exec = engine.execute(ap_plan, &catalog).expect("AP plan executes");
+
+    let hp_plan = heuristic_parallelize(&serial, &catalog, workers).expect("HP plan builds");
+    let hp_exec = engine.execute(&hp_plan, &catalog).expect("HP plan executes");
+
+    let mut table = ExperimentTable::new(
+        "Table 5",
+        format!("TPC-H Q14 plan statistics, adaptive (AP) vs heuristic (HP, {workers} partitions)"),
+        &["metric", "AP", "HP"],
+    );
+    table.row(vec![
+        "# Select operators".to_string(),
+        ap_plan.count_of("select").to_string(),
+        hp_plan.count_of("select").to_string(),
+    ]);
+    table.row(vec![
+        "# Join operators".to_string(),
+        ap_plan.count_of("join").to_string(),
+        hp_plan.count_of("join").to_string(),
+    ]);
+    table.row(vec![
+        "# Fetch operators".to_string(),
+        ap_plan.count_of("fetch").to_string(),
+        hp_plan.count_of("fetch").to_string(),
+    ]);
+    table.row(vec![
+        "# Exchange unions".to_string(),
+        ap_plan.count_of("union").to_string(),
+        hp_plan.count_of("union").to_string(),
+    ]);
+    table.row(vec![
+        "# Plan operators".to_string(),
+        ap_plan.node_count().to_string(),
+        hp_plan.node_count().to_string(),
+    ]);
+    table.row(vec![
+        "% Multi-core utilization".to_string(),
+        fmt_percent(ap_exec.profile.multi_core_utilization()),
+        fmt_percent(hp_exec.profile.multi_core_utilization()),
+    ]);
+    table.row(vec![
+        "% Parallelism usage".to_string(),
+        fmt_percent(ap_exec.profile.parallelism_usage()),
+        fmt_percent(hp_exec.profile.parallelism_usage()),
+    ]);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_operator_counts_and_utilization() {
+        let tables = run(&ExperimentConfig::smoke());
+        let t = &tables[0];
+        assert_eq!(t.len(), 7);
+        // Both plans have at least one select and the HP plan parallelized
+        // the fetches (one clone per partition) — the relative counts depend
+        // on how far the adaptive search got, which the smoke config caps.
+        let ap_selects: usize = t.rows[0][1].parse().unwrap();
+        let hp_selects: usize = t.rows[0][2].parse().unwrap();
+        assert!(ap_selects >= 1 && hp_selects >= 1);
+        let hp_fetches: usize = t.rows[2][2].parse().unwrap();
+        assert!(hp_fetches > 1, "HP must clone the fetch operators");
+        assert!(t.rows[5][1].ends_with('%'));
+        assert!(t.rows[6][2].ends_with('%'));
+    }
+}

@@ -1,0 +1,131 @@
+//! Table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One reproduced table / figure series: an id matching the paper's artefact,
+/// headers and string rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTable {
+    /// Paper artefact id (`"Figure 12"`, `"Table 2"`, ...).
+    pub id: String,
+    /// One-line description of what is shown.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table with headers and no rows yet.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        ExperimentTable {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn push_row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for rows built from `&str` / `String` mixes.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.push_row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "  {}", rule.join("-+-"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats milliseconds with three decimals.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.3}")
+}
+
+/// Formats a ratio (speedup, utilization) with two decimals.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = ExperimentTable::new("Table 2", "select speedup", &["size", "AP", "HP"]);
+        assert!(t.is_empty());
+        t.row(vec!["10 GB".into(), "16".into(), "11".into()]);
+        t.row(vec!["100 GB".into(), "8.5".into(), "10".into()]);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("Table 2"));
+        assert!(rendered.contains("select speedup"));
+        assert!(rendered.contains("100 GB"));
+        // All data lines have the same width (alignment).
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        assert!(lines.len() >= 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = ExperimentTable::new("x", "y", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(1.23456), "1.235");
+        assert_eq!(fmt_ratio(2.5), "2.50");
+        assert_eq!(fmt_percent(0.357), "35.7%");
+    }
+}

@@ -1,0 +1,134 @@
+//! A catalog of named tables shared by the execution engine and workloads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::{ColumnarError, Result};
+use crate::table::Table;
+
+/// A named collection of tables (one database instance).
+///
+/// The catalog is immutable once handed to the engine; workloads register all
+/// generated tables up front. `BTreeMap` keeps iteration order deterministic
+/// for reproducible experiments.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under its own name.
+    pub fn register(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Registers a table under an explicit name (useful for aliases).
+    pub fn register_as(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| ColumnarError::UnknownTable(name.to_string()))
+    }
+
+    /// True when the catalog holds a table of that name.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total approximate size of the catalog in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.tables.values().map(|t| t.byte_size()).sum()
+    }
+
+    /// Name and row count of the largest table (by rows); used by the
+    /// heuristic parallelizer which "uses ... the largest table size to
+    /// identify the number of partitions" (paper §4.2.1).
+    pub fn largest_table(&self) -> Option<(&str, usize)> {
+        self.tables
+            .values()
+            .max_by_key(|t| t.row_count())
+            .map(|t| (t.name(), t.row_count()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table(name: &str, rows: usize) -> Arc<Table> {
+        TableBuilder::new(name)
+            .i64_column("id", (0..rows as i64).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(table("part", 10));
+        c.register(table("lineitem", 100));
+        assert_eq!(c.len(), 2);
+        assert!(c.has_table("part"));
+        assert!(!c.has_table("orders"));
+        assert_eq!(c.table("lineitem").unwrap().row_count(), 100);
+        assert!(matches!(
+            c.table("orders").unwrap_err(),
+            ColumnarError::UnknownTable(_)
+        ));
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["lineitem", "part"]);
+        assert!(c.byte_size() > 0);
+    }
+
+    #[test]
+    fn register_as_alias() {
+        let mut c = Catalog::new();
+        c.register_as("li_alias", table("lineitem", 5));
+        assert!(c.has_table("li_alias"));
+        assert!(!c.has_table("lineitem"));
+    }
+
+    #[test]
+    fn largest_table() {
+        let mut c = Catalog::new();
+        assert_eq!(c.largest_table(), None);
+        c.register(table("part", 10));
+        c.register(table("lineitem", 100));
+        c.register(table("orders", 50));
+        assert_eq!(c.largest_table(), Some(("lineitem", 100)));
+    }
+
+    #[test]
+    fn replace_table() {
+        let mut c = Catalog::new();
+        c.register(table("t", 1));
+        c.register(table("t", 9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().row_count(), 9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Scalar values and logical data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical type of a column.
+///
+/// Dates are stored as `Int32` (days since 1970-01-01); decimals are stored
+/// as `Int64` fixed-point values exactly like MonetDB's `lng` decimals in the
+/// paper's Q14 plan (`calc.lng(A2,15,2)` etc.). The storage layer does not
+/// distinguish those logical flavours — the workload layer documents the
+/// scale it uses per column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for fixed-point decimals).
+    Int64,
+    /// 32-bit signed integer (also used for dates as days since epoch).
+    Int32,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+impl DataType {
+    /// Human readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "int64",
+            DataType::Int32 => "int32",
+            DataType::Float64 => "float64",
+            DataType::Bool => "bool",
+            DataType::Str => "str",
+        }
+    }
+
+    /// Width in bytes of one stored value (dictionary codes for strings).
+    pub fn value_width(self) -> usize {
+        match self {
+            DataType::Int64 => 8,
+            DataType::Int32 => 4,
+            DataType::Float64 => 8,
+            DataType::Bool => 1,
+            DataType::Str => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value, used for predicate constants and aggregate results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarValue {
+    /// 64-bit integer value.
+    I64(i64),
+    /// 32-bit integer value.
+    I32(i32),
+    /// 64-bit float value.
+    F64(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// Owned string value.
+    Str(String),
+}
+
+impl ScalarValue {
+    /// Logical type of this scalar.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ScalarValue::I64(_) => DataType::Int64,
+            ScalarValue::I32(_) => DataType::Int32,
+            ScalarValue::F64(_) => DataType::Float64,
+            ScalarValue::Bool(_) => DataType::Bool,
+            ScalarValue::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Numeric view of the scalar as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ScalarValue::I64(v) => Some(*v as f64),
+            ScalarValue::I32(v) => Some(*v as f64),
+            ScalarValue::F64(v) => Some(*v),
+            ScalarValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            ScalarValue::Str(_) => None,
+        }
+    }
+
+    /// Integer view of the scalar as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ScalarValue::I64(v) => Some(*v),
+            ScalarValue::I32(v) => Some(*v as i64),
+            ScalarValue::Bool(b) => Some(*b as i64),
+            ScalarValue::F64(_) | ScalarValue::Str(_) => None,
+        }
+    }
+
+    /// String view of the scalar, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ScalarValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order used for comparisons in tests and top-n operators.
+    ///
+    /// Values of different types compare by type first; `NaN` floats sort
+    /// last among floats so the order is total.
+    pub fn total_cmp(&self, other: &ScalarValue) -> Ordering {
+        fn rank(v: &ScalarValue) -> u8 {
+            match v {
+                ScalarValue::Bool(_) => 0,
+                ScalarValue::I32(_) => 1,
+                ScalarValue::I64(_) => 2,
+                ScalarValue::F64(_) => 3,
+                ScalarValue::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (ScalarValue::I64(a), ScalarValue::I64(b)) => a.cmp(b),
+            (ScalarValue::I32(a), ScalarValue::I32(b)) => a.cmp(b),
+            (ScalarValue::Bool(a), ScalarValue::Bool(b)) => a.cmp(b),
+            (ScalarValue::F64(a), ScalarValue::F64(b)) => a.total_cmp(b),
+            (ScalarValue::Str(a), ScalarValue::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for ScalarValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarValue::I64(v) => write!(f, "{v}"),
+            ScalarValue::I32(v) => write!(f, "{v}"),
+            ScalarValue::F64(v) => write!(f, "{v}"),
+            ScalarValue::Bool(v) => write!(f, "{v}"),
+            ScalarValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for ScalarValue {
+    fn from(v: i64) -> Self {
+        ScalarValue::I64(v)
+    }
+}
+
+impl From<i32> for ScalarValue {
+    fn from(v: i32) -> Self {
+        ScalarValue::I32(v)
+    }
+}
+
+impl From<f64> for ScalarValue {
+    fn from(v: f64) -> Self {
+        ScalarValue::F64(v)
+    }
+}
+
+impl From<bool> for ScalarValue {
+    fn from(v: bool) -> Self {
+        ScalarValue::Bool(v)
+    }
+}
+
+impl From<&str> for ScalarValue {
+    fn from(v: &str) -> Self {
+        ScalarValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ScalarValue {
+    fn from(v: String) -> Self {
+        ScalarValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_names_and_widths() {
+        assert_eq!(DataType::Int64.name(), "int64");
+        assert_eq!(DataType::Int64.value_width(), 8);
+        assert_eq!(DataType::Int32.value_width(), 4);
+        assert_eq!(DataType::Bool.value_width(), 1);
+        assert_eq!(DataType::Str.value_width(), 4);
+        assert_eq!(DataType::Float64.to_string(), "float64");
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(ScalarValue::from(5i64).as_i64(), Some(5));
+        assert_eq!(ScalarValue::from(5i32).as_i64(), Some(5));
+        assert_eq!(ScalarValue::from(true).as_i64(), Some(1));
+        assert_eq!(ScalarValue::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(ScalarValue::from("abc").as_str(), Some("abc"));
+        assert_eq!(ScalarValue::from(2.5f64).as_i64(), None);
+        assert_eq!(ScalarValue::from("abc").as_f64(), None);
+    }
+
+    #[test]
+    fn scalar_types() {
+        assert_eq!(ScalarValue::I64(1).data_type(), DataType::Int64);
+        assert_eq!(ScalarValue::I32(1).data_type(), DataType::Int32);
+        assert_eq!(ScalarValue::F64(1.0).data_type(), DataType::Float64);
+        assert_eq!(ScalarValue::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(ScalarValue::Str("x".into()).data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn total_order_within_and_across_types() {
+        assert_eq!(
+            ScalarValue::I64(1).total_cmp(&ScalarValue::I64(2)),
+            Ordering::Less
+        );
+        assert_eq!(
+            ScalarValue::Str("b".into()).total_cmp(&ScalarValue::Str("a".into())),
+            Ordering::Greater
+        );
+        // Cross-type ordering is by type rank and is stable.
+        assert_eq!(
+            ScalarValue::Bool(true).total_cmp(&ScalarValue::I64(0)),
+            Ordering::Less
+        );
+        // NaN is ordered (total order).
+        assert_eq!(
+            ScalarValue::F64(f64::NAN).total_cmp(&ScalarValue::F64(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(ScalarValue::I64(42).to_string(), "42");
+        assert_eq!(ScalarValue::Bool(false).to_string(), "false");
+        assert_eq!(ScalarValue::Str("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the storage layer invariants the adaptive
+//! parallelizer relies on: slicing never loses or duplicates data, dynamic
+//! partition sets always cover the base column exactly once, and boundary
+//! alignment always yields valid accesses.
+
+use apq_columnar::partition::{align_ranges, clamp_oids, AlignmentScenario};
+use apq_columnar::{Column, PartitionSet, RowRange};
+use proptest::prelude::*;
+
+proptest! {
+    /// Slicing a column and concatenating the slices reproduces the column.
+    #[test]
+    fn slice_then_concat_roundtrip(values in prop::collection::vec(-1000i64..1000, 1..200),
+                                   cuts in prop::collection::vec(0usize..200, 0..6)) {
+        let col = Column::from_i64(values.clone());
+        let n = values.len();
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        points.push(0);
+        points.push(n);
+        points.sort_unstable();
+        points.dedup();
+        let mut parts = Vec::new();
+        for w in points.windows(2) {
+            if w[1] > w[0] {
+                parts.push(col.slice(w[0], w[1] - w[0]).unwrap());
+            }
+        }
+        let packed = Column::concat(&parts).unwrap();
+        prop_assert_eq!(packed.i64_values().unwrap(), &values[..]);
+    }
+
+    /// Any sequence of dynamic splits keeps the partition set valid and
+    /// keeps the total row coverage constant (no repetition, no omission).
+    #[test]
+    fn dynamic_splits_preserve_coverage(total in 2usize..10_000,
+                                        picks in prop::collection::vec(0usize..64, 0..40)) {
+        let mut set = PartitionSet::single(total);
+        for pick in picks {
+            let idx = pick % set.len();
+            // Splitting may legitimately fail when the partition has 1 row.
+            let _ = set.split(idx);
+            set.validate().unwrap();
+            let covered: usize = set.ranges().iter().map(RowRange::len).sum();
+            prop_assert_eq!(covered, total);
+        }
+    }
+
+    /// Static equal partitioning covers the domain for any n.
+    #[test]
+    fn equal_partitioning_covers(total in 1usize..50_000, n in 1usize..128) {
+        let set = PartitionSet::equal(total, n);
+        set.validate().unwrap();
+        let covered: usize = set.ranges().iter().map(RowRange::len).sum();
+        prop_assert_eq!(covered, total);
+        // Partition sizes differ by at most one row.
+        prop_assert!(set.max_partition_rows() - set.min_partition_rows() <= 1);
+    }
+
+    /// The alignment clamp always produces a sub-range of both inputs, and
+    /// clamped oids always index validly into the right range.
+    #[test]
+    fn alignment_clamp_is_sound(ls in 0usize..1000, ll in 0usize..1000,
+                                rs in 0usize..1000, rl in 0usize..1000) {
+        let left = RowRange::new(ls, ls + ll);
+        let right = RowRange::new(rs, rs + rl);
+        let (scenario, clamped) = align_ranges(&left, &right);
+        prop_assert!(clamped.len() <= left.len());
+        prop_assert!(clamped.len() <= right.len());
+        if !clamped.is_empty() {
+            prop_assert!(left.contains(clamped.start) && right.contains(clamped.start));
+            prop_assert!(left.contains(clamped.end - 1) && right.contains(clamped.end - 1));
+        }
+        if scenario == AlignmentScenario::Exact {
+            prop_assert_eq!(clamped, left);
+        }
+        // Every oid inside `left`, once clamped, is a valid index of `right`.
+        let oids: Vec<u64> = (left.start..left.end).map(|v| v as u64).collect();
+        let clamped_oids = clamp_oids(&oids, &right);
+        for o in clamped_oids {
+            prop_assert!(right.contains(o as usize));
+        }
+    }
+
+    /// gather_oids round-trips values for oids drawn inside the slice.
+    #[test]
+    fn gather_oids_roundtrip(values in prop::collection::vec(-500i64..500, 10..300),
+                             start_frac in 0usize..10, picks in prop::collection::vec(0usize..1000, 1..50)) {
+        let col = Column::from_i64(values.clone());
+        let n = values.len();
+        let start = (n / 10) * start_frac.min(5);
+        let len = n - start;
+        let slice = col.slice(start, len).unwrap();
+        let oids: Vec<u64> = picks.iter().map(|&p| (start + p % len) as u64).collect();
+        let gathered = slice.gather_oids(&oids).unwrap();
+        let got = gathered.i64_values().unwrap();
+        for (i, &oid) in oids.iter().enumerate() {
+            prop_assert_eq!(got[i], values[oid as usize]);
+        }
+    }
+}

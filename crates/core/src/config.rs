@@ -1,0 +1,187 @@
+//! Configuration of the adaptive parallelizer.
+
+use crate::error::{CoreError, Result};
+
+/// Tunables of adaptive parallelization and its convergence algorithm.
+///
+/// Field names follow the paper's formulas (§3): `n_cores` is
+/// `Number_Of_Cores`, `extra_runs` is `Extra_Runs`, `gme_threshold` is the
+/// GME replacement threshold, and `union_input_threshold` is the
+/// plan-explosion guard of §2.3 ("The threshold in the current implementation
+/// is 15 parameters").
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// `Number_Of_Cores`: drives credit/debit accumulation, the leaking-debit
+    /// threshold run, and the convergence bounds. Usually set to the engine's
+    /// worker count.
+    pub n_cores: usize,
+    /// GME replacement threshold (fraction of the serial execution time by
+    /// which a run must beat the current GME's improvement). Paper example: 5%.
+    pub gme_threshold: f64,
+    /// `Extra_Runs`: multiplier on `n_cores` that bounds the remaining runs
+    /// used to compute the leaking debit. Paper: 8.
+    pub extra_runs: usize,
+    /// Maximum number of exchange-union inputs before the medium mutation is
+    /// suppressed (plan-explosion guard). Paper: 15.
+    pub union_input_threshold: usize,
+    /// Partitions smaller than this are never split further; keeps the
+    /// mutation from creating degenerate single-row partitions.
+    pub min_partition_rows: usize,
+    /// Hard safety cap on the number of adaptive runs (the convergence
+    /// algorithm normally terminates long before this).
+    pub max_runs: usize,
+    /// A run whose execution time exceeds `outlier_factor × serial time` is
+    /// treated as a noise peak (§3.3.3) and ignored by the credit/debit
+    /// bookkeeping.
+    pub outlier_factor: f64,
+    /// Re-execute the result comparison against the serial plan after every
+    /// run (used by tests; disabled in benchmarks).
+    pub verify_results: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            n_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            gme_threshold: 0.05,
+            extra_runs: 8,
+            union_input_threshold: 15,
+            min_partition_rows: 1024,
+            max_runs: 256,
+            outlier_factor: 1.0,
+            verify_results: false,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Configuration for a machine (or engine) with `n_cores` workers.
+    pub fn for_cores(n_cores: usize) -> Self {
+        AdaptiveConfig { n_cores: n_cores.max(1), ..AdaptiveConfig::default() }
+    }
+
+    /// Enables per-run result verification against the serial plan.
+    pub fn with_verification(mut self) -> Self {
+        self.verify_results = true;
+        self
+    }
+
+    /// Sets the minimum partition size (rows).
+    pub fn with_min_partition_rows(mut self, rows: usize) -> Self {
+        self.min_partition_rows = rows.max(1);
+        self
+    }
+
+    /// Sets the hard cap on adaptive runs.
+    pub fn with_max_runs(mut self, runs: usize) -> Self {
+        self.max_runs = runs.max(1);
+        self
+    }
+
+    /// Sets `Extra_Runs`.
+    pub fn with_extra_runs(mut self, extra_runs: usize) -> Self {
+        self.extra_runs = extra_runs.max(1);
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_cores == 0 {
+            return Err(CoreError::InvalidConfig("n_cores must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.gme_threshold) {
+            return Err(CoreError::InvalidConfig(format!(
+                "gme_threshold {} must lie in [0, 1]",
+                self.gme_threshold
+            )));
+        }
+        if self.extra_runs == 0 {
+            return Err(CoreError::InvalidConfig("extra_runs must be at least 1".into()));
+        }
+        if self.union_input_threshold < 2 {
+            return Err(CoreError::InvalidConfig(
+                "union_input_threshold must be at least 2".into(),
+            ));
+        }
+        if self.max_runs == 0 {
+            return Err(CoreError::InvalidConfig("max_runs must be at least 1".into()));
+        }
+        if self.outlier_factor < 1.0 {
+            return Err(CoreError::InvalidConfig(
+                "outlier_factor below 1.0 would flag improving runs as outliers".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Lower bound on the convergence runs (`Number_Of_Cores + 1`, paper §3.3.4).
+    pub fn lower_bound_runs(&self) -> usize {
+        self.n_cores + 1
+    }
+
+    /// Approximate upper bound on the convergence runs
+    /// (`Number_Of_Cores + 1 + Remaining_Runs`, paper §3.3.4).
+    pub fn upper_bound_runs(&self) -> usize {
+        self.n_cores + 1 + self.extra_runs * self.n_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = AdaptiveConfig::default();
+        assert_eq!(c.extra_runs, 8);
+        assert_eq!(c.union_input_threshold, 15);
+        assert!((c.gme_threshold - 0.05).abs() < 1e-12);
+        assert!(c.n_cores >= 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders() {
+        let c = AdaptiveConfig::for_cores(8)
+            .with_verification()
+            .with_min_partition_rows(10)
+            .with_max_runs(50)
+            .with_extra_runs(4);
+        assert_eq!(c.n_cores, 8);
+        assert!(c.verify_results);
+        assert_eq!(c.min_partition_rows, 10);
+        assert_eq!(c.max_runs, 50);
+        assert_eq!(c.extra_runs, 4);
+        assert_eq!(c.lower_bound_runs(), 9);
+        assert_eq!(c.upper_bound_runs(), 8 + 1 + 4 * 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.n_cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.gme_threshold = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.extra_runs = 0;
+        assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.union_input_threshold = 1;
+        assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.max_runs = 0;
+        assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.outlier_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_core_builder_clamps() {
+        assert_eq!(AdaptiveConfig::for_cores(0).n_cores, 1);
+        assert_eq!(AdaptiveConfig::default().with_min_partition_rows(0).min_partition_rows, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the adaptive parallelization layer.
+
+use std::fmt;
+
+use apq_engine::EngineError;
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the adaptive parallelizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error bubbled up from the execution engine.
+    Engine(EngineError),
+    /// A plan mutation could not be applied consistently.
+    Mutation(String),
+    /// The adaptive and serial plans disagreed on the query result
+    /// (only detectable when result verification is enabled).
+    ResultMismatch {
+        /// Run index at which the divergence was observed.
+        run: usize,
+    },
+    /// The optimizer was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::Mutation(msg) => write!(f, "plan mutation failed: {msg}"),
+            CoreError::ResultMismatch { run } => {
+                write!(f, "adaptive plan result diverged from the serial result at run {run}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid adaptive configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = EngineError::InvalidPlan("x".into()).into();
+        assert!(matches!(e, CoreError::Engine(_)));
+        assert!(e.to_string().contains("engine error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::Mutation("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::ResultMismatch { run: 3 }.to_string().contains('3'));
+        assert!(CoreError::InvalidConfig("zero cores".into()).to_string().contains("zero cores"));
+    }
+}

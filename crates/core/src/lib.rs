@@ -1,0 +1,39 @@
+//! Adaptive query parallelization — the paper's primary contribution.
+//!
+//! "We introduce adaptive parallelization, which exploits execution feedback
+//! to gradually increase the level of parallelism until we reach a
+//! sweet-spot. After each query has been executed, we replace an expensive
+//! operator (or a sequence) by a faster parallel version, i.e. the query plan
+//! is morphed into a faster one. A convergence algorithm is designed to reach
+//! the optimum as quick as possible." (Gawade & Kersten, EDBT 2016)
+//!
+//! The crate is organized along the paper's architecture (§2, §3):
+//!
+//! * [`expensive`] — identification of the most expensive (and still
+//!   mutable) operator from the previous run's profile;
+//! * [`mutation`] — the basic, medium and advanced plan mutations, the
+//!   dynamic-partition splitting helpers, and the plan-explosion guard;
+//! * [`convergence`] — the credit/debit convergence algorithm with leaking
+//!   debit, outlier handling and GME tracking;
+//! * [`history`] — plan administration (choosing the fastest plan from the
+//!   plan history);
+//! * [`optimizer`] — the run loop (paper Fig. 2) driving it all;
+//! * [`config`] / [`report`] — tunables and result structures.
+
+pub mod config;
+pub mod convergence;
+pub mod error;
+pub mod expensive;
+pub mod history;
+pub mod mutation;
+pub mod optimizer;
+pub mod report;
+
+pub use config::AdaptiveConfig;
+pub use convergence::{ConvergenceState, RunObservation};
+pub use error::{CoreError, Result};
+pub use expensive::{most_expensive, ranked_candidates, Candidate, TargetAction};
+pub use history::{PlanHistory, PlanVersion};
+pub use mutation::{mutate_most_expensive, MutationKind, MutationOutcome};
+pub use optimizer::AdaptiveOptimizer;
+pub use report::{AdaptiveReport, AdaptiveRunRecord};

@@ -1,0 +1,330 @@
+//! Basic and advanced mutation: clone the expensive operator over two
+//! partitions of its input and combine the clones.
+//!
+//! Paper §2.1: "Basic mutation involves parallelization of an expensive
+//! operator by introducing two new operators of the same type ... The cloned
+//! operators work on the expensive operator's partitioned data ... An
+//! exchange union operator (either a newly introduced or an existing one)
+//! combines the result of the cloned operators."
+//!
+//! The *advanced* mutation is the same cloning step applied to non-filtering
+//! operators (grouped aggregation, scalar aggregation); their clones are
+//! combined by a merging combiner instead of a plain pack, which in this
+//! implementation is the already-present `FinalizeAgg` / `MergeGrouped`
+//! node (or an exchange union, which also merges partial aggregate chunks).
+
+use std::collections::HashMap;
+
+use apq_engine::plan::{CombinerKind, NodeId, OperatorSpec, Plan};
+use apq_engine::QueryProfile;
+
+use crate::error::{CoreError, Result};
+use crate::mutation::split::{aligned_inputs, output_len, remove_if_orphan, split_input};
+use crate::mutation::{MutationKind, MutationOutcome};
+
+/// True when `spec` is one of the combiner operators that can absorb
+/// additional cloned inputs directly (the "existing" exchange union of the
+/// paper, or the merging combiners used by the advanced mutation).
+pub(crate) fn is_combiner(spec: &OperatorSpec) -> bool {
+    matches!(
+        spec,
+        OperatorSpec::ExchangeUnion
+            | OperatorSpec::FinalizeAgg { .. }
+            | OperatorSpec::MergeGrouped
+    )
+}
+
+/// Applies the basic / advanced mutation to `target`.
+pub fn clone_over_partitions(
+    plan: &mut Plan,
+    profile: &QueryProfile,
+    target: NodeId,
+) -> Result<MutationOutcome> {
+    let node = plan.node(target).map_err(CoreError::from)?.clone();
+    let combiner_kind = node.spec.combiner();
+    if combiner_kind == CombinerKind::NotParallelizable {
+        return Err(CoreError::Mutation(format!(
+            "operator {} (node {target}) cannot be cloned over partitions",
+            node.spec.name()
+        )));
+    }
+
+    // All aligned inputs must be splittable and equally long, otherwise the
+    // clones would mis-align (paper Fig. 9 hazards).
+    let aligned = aligned_inputs(plan, target)?;
+    if aligned.is_empty() {
+        return Err(CoreError::Mutation(format!(
+            "node {target} has no partitionable input"
+        )));
+    }
+    let mut lengths = Vec::with_capacity(aligned.len());
+    for &input in &aligned {
+        let len = output_len(plan, profile, input).ok_or_else(|| {
+            CoreError::Mutation(format!("input {input} of node {target} has unknown length"))
+        })?;
+        lengths.push(len);
+    }
+    if lengths.windows(2).any(|w| w[0] != w[1]) {
+        return Err(CoreError::Mutation(format!(
+            "aligned inputs of node {target} have differing lengths {lengths:?}"
+        )));
+    }
+
+    // Split every aligned input once (memoized: the same input may appear at
+    // several aligned positions).
+    let mut splits: HashMap<NodeId, (NodeId, NodeId)> = HashMap::new();
+    for &input in &aligned {
+        let halves = split_input(plan, profile, input)?;
+        splits.insert(input, halves);
+    }
+
+    // Clone the target over the two halves.
+    let flags = node.spec.aligned_inputs(node.inputs.len());
+    let mut inputs_first = Vec::with_capacity(node.inputs.len());
+    let mut inputs_second = Vec::with_capacity(node.inputs.len());
+    for (&input, &is_aligned) in node.inputs.iter().zip(&flags) {
+        if is_aligned {
+            let (a, b) = splits[&input];
+            inputs_first.push(a);
+            inputs_second.push(b);
+        } else {
+            inputs_first.push(input);
+            inputs_second.push(input);
+        }
+    }
+    let clone_first = plan.add(node.spec.clone(), inputs_first);
+    let clone_second = plan.add(node.spec.clone(), inputs_second);
+
+    // Combine the clones: reuse an existing combiner consumer if there is
+    // exactly one, otherwise introduce a new exchange union.
+    let consumers = plan.consumers(target);
+    let combiner = if consumers.len() == 1
+        && is_combiner(&plan.node(consumers[0]).map_err(CoreError::from)?.spec)
+    {
+        let existing = consumers[0];
+        plan.splice_input(existing, target, &[clone_first, clone_second])
+            .map_err(CoreError::from)?;
+        existing
+    } else {
+        let union = plan.add(OperatorSpec::ExchangeUnion, vec![clone_first, clone_second]);
+        for consumer in consumers {
+            plan.replace_input(consumer, target, union).map_err(CoreError::from)?;
+        }
+        if plan.root() == Some(target) {
+            plan.set_root(union);
+        }
+        union
+    };
+
+    plan.remove(target).map_err(CoreError::from)?;
+    for &input in &aligned {
+        remove_if_orphan(plan, input);
+    }
+
+    let kind = match combiner_kind {
+        CombinerKind::ExchangeUnion => MutationKind::Basic,
+        CombinerKind::FinalizeAgg | CombinerKind::MergeGrouped => MutationKind::Advanced,
+        CombinerKind::NotParallelizable => unreachable!("rejected above"),
+    };
+    Ok(MutationOutcome {
+        kind,
+        target,
+        clones: vec![clone_first, clone_second],
+        combiner,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_engine::profiler::OperatorProfile;
+    use apq_operators::{AggFunc, CmpOp, Predicate};
+    use std::time::Duration;
+
+    fn scan(column: &str, rows: usize) -> OperatorSpec {
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: column.into(),
+            range: RowRange::new(0, rows),
+        }
+    }
+
+    fn profile_for(plan: &Plan, rows: usize) -> QueryProfile {
+        QueryProfile {
+            wall_time: Duration::from_micros(1000),
+            n_workers: 4,
+            operators: plan
+                .node_ids()
+                .into_iter()
+                .map(|node| OperatorProfile {
+                    node,
+                    name: plan.node(node).unwrap().spec.name(),
+                    start_us: 0,
+                    duration_us: 10,
+                    worker: 0,
+                    rows_out: rows,
+                    bytes_out: rows * 8,
+                })
+                .collect(),
+        }
+    }
+
+    /// sum(b) where a < k — the plan every other test builds on.
+    fn filter_sum_plan(rows: usize) -> (Plan, NodeId, NodeId, NodeId) {
+        let mut p = Plan::new();
+        let a = p.add(scan("a", rows), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let b = p.add(scan("b", rows), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        (p, sel, fetch, agg)
+    }
+
+    #[test]
+    fn basic_mutation_of_a_select_splits_the_scan() {
+        let (mut p, sel, fetch, _) = filter_sum_plan(1000);
+        let prof = profile_for(&p, 500);
+        let before_scans = p.count_of("scan");
+        let outcome = clone_over_partitions(&mut p, &prof, sel).unwrap();
+        assert_eq!(outcome.kind, MutationKind::Basic);
+        assert_eq!(outcome.target, sel);
+        assert_eq!(outcome.clones.len(), 2);
+        p.validate().unwrap();
+        // The original select is gone, two clones exist, a union was added.
+        assert!(!p.contains(sel));
+        assert_eq!(p.count_of("select"), 2);
+        assert_eq!(p.count_of("union"), 1);
+        // The original scan of `a` was only used by the select and is removed,
+        // replaced by two half-range scans (plus the untouched scan of `b`).
+        assert_eq!(p.count_of("scan"), before_scans + 1);
+        // The fetch now reads from the union.
+        assert!(p.node(fetch).unwrap().inputs.contains(&outcome.combiner));
+        // The two clones scan adjacent ranges covering the original domain.
+        let mut ranges = Vec::new();
+        for id in p.node_ids() {
+            if let OperatorSpec::ScanColumn { column, range, .. } = &p.node(id).unwrap().spec {
+                if column == "a" {
+                    ranges.push((range.start, range.end));
+                }
+            }
+        }
+        ranges.sort_unstable();
+        assert_eq!(ranges, vec![(0, 500), (500, 1000)]);
+    }
+
+    #[test]
+    fn repeated_mutation_reuses_the_existing_union() {
+        let (mut p, sel, _, _) = filter_sum_plan(1000);
+        let prof = profile_for(&p, 500);
+        let first = clone_over_partitions(&mut p, &prof, sel).unwrap();
+        // Parallelize one of the clones: its consumer is the union created above.
+        let prof2 = profile_for(&p, 250);
+        let second = clone_over_partitions(&mut p, &prof2, first.clones[0]).unwrap();
+        p.validate().unwrap();
+        assert_eq!(second.combiner, first.combiner, "existing union must be reused");
+        assert_eq!(p.count_of("union"), 1);
+        assert_eq!(p.count_of("select"), 3);
+        // Union input order preserves the mutation sequence order: the two new
+        // clones replaced the first clone in place.
+        let union_inputs = &p.node(first.combiner).unwrap().inputs;
+        assert_eq!(union_inputs.len(), 3);
+        assert_eq!(union_inputs[0], second.clones[0]);
+        assert_eq!(union_inputs[1], second.clones[1]);
+        assert_eq!(union_inputs[2], first.clones[1]);
+    }
+
+    #[test]
+    fn fetch_mutation_slices_the_candidate_list() {
+        let (mut p, sel, fetch, _) = filter_sum_plan(1000);
+        let prof = profile_for(&p, 600);
+        let outcome = clone_over_partitions(&mut p, &prof, fetch).unwrap();
+        p.validate().unwrap();
+        assert_eq!(outcome.kind, MutationKind::Basic);
+        // The select survives (it feeds the slices), two SlicePart nodes appear.
+        assert!(p.contains(sel));
+        assert_eq!(p.count_of("slice"), 2);
+        assert_eq!(p.count_of("fetch"), 2);
+        // Slices cover [0, 300) and [300, 600) of the candidate list.
+        let mut windows = Vec::new();
+        for id in p.node_ids() {
+            if let OperatorSpec::SlicePart { start, len } = p.node(id).unwrap().spec {
+                windows.push((start, len));
+            }
+        }
+        windows.sort_unstable();
+        assert_eq!(windows, vec![(0, 300), (300, 300)]);
+    }
+
+    #[test]
+    fn advanced_mutation_of_scalar_agg_feeds_existing_finalizer() {
+        let (mut p, _, _, agg) = filter_sum_plan(1000);
+        let fin = p.root().unwrap();
+        let prof = profile_for(&p, 400);
+        let outcome = clone_over_partitions(&mut p, &prof, agg).unwrap();
+        p.validate().unwrap();
+        assert_eq!(outcome.kind, MutationKind::Advanced);
+        assert_eq!(outcome.combiner, fin, "clones must feed the existing FinalizeAgg");
+        assert_eq!(p.node(fin).unwrap().inputs.len(), 2);
+        assert_eq!(p.count_of("aggregate"), 2);
+        assert_eq!(p.count_of("union"), 0);
+    }
+
+    #[test]
+    fn advanced_mutation_of_group_agg() {
+        let mut p = Plan::new();
+        let keys = p.add(scan("k", 1000), vec![]);
+        let vals = p.add(scan("v", 1000), vec![]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![keys, vals]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        let prof = profile_for(&p, 1000);
+        let outcome = clone_over_partitions(&mut p, &prof, group).unwrap();
+        p.validate().unwrap();
+        assert_eq!(outcome.kind, MutationKind::Advanced);
+        assert_eq!(outcome.combiner, merge);
+        assert_eq!(p.count_of("groupby"), 2);
+        // Both scans were split: 2 half scans per original scan.
+        assert_eq!(p.count_of("scan"), 4);
+        assert!(!p.contains(keys));
+        assert!(!p.contains(vals));
+    }
+
+    #[test]
+    fn mutation_of_root_operator_moves_the_root() {
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        p.set_root(sel);
+        let prof = profile_for(&p, 50);
+        let outcome = clone_over_partitions(&mut p, &prof, sel).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.root(), Some(outcome.combiner));
+        assert!(matches!(p.node(outcome.combiner).unwrap().spec, OperatorSpec::ExchangeUnion));
+    }
+
+    #[test]
+    fn rejects_unsplittable_targets() {
+        let (mut p, sel, _, _) = filter_sum_plan(1000);
+        // Scan nodes cannot be mutated.
+        let prof = profile_for(&p, 500);
+        assert!(clone_over_partitions(&mut p, &prof, 0).is_err());
+        // A select over a single-row scan cannot be split.
+        let (mut tiny, tiny_sel, _, _) = filter_sum_plan(1);
+        let tiny_prof = profile_for(&tiny, 1);
+        assert!(clone_over_partitions(&mut tiny, &tiny_prof, tiny_sel).is_err());
+        // Unknown node.
+        assert!(clone_over_partitions(&mut p, &prof, 999).is_err());
+        // Fetch whose candidate list was never profiled cannot be split.
+        let (mut p2, _, fetch2, _) = filter_sum_plan(1000);
+        let empty_prof = QueryProfile {
+            wall_time: Duration::from_micros(1),
+            n_workers: 1,
+            operators: vec![],
+        };
+        assert!(clone_over_partitions(&mut p2, &empty_prof, fetch2).is_err());
+        let _ = sel;
+    }
+}

@@ -1,0 +1,201 @@
+//! Intermediate results flowing along plan edges.
+
+use std::sync::Arc;
+
+use apq_columnar::{Column, Oid, ScalarValue};
+use apq_operators::{AggState, GroupKey, GroupedAgg, JoinHashTable, JoinResult};
+
+/// One materialized intermediate result (the output of a plan node).
+///
+/// Everything large is behind an `Arc` so that fan-out edges (one producer,
+/// many consumers) never copy data.
+#[derive(Debug, Clone)]
+pub enum Chunk {
+    /// A value column (base slice or computed intermediate).
+    Column(Column),
+    /// A candidate list of absolute oids.
+    Oids(Arc<Vec<Oid>>),
+    /// Matching `(outer, inner)` oid pairs of a join.
+    Join(Arc<JoinResult>),
+    /// A shared join hash table (build side).
+    Hash(Arc<JoinHashTable>),
+    /// A mergeable partial scalar aggregate.
+    AggPartial(AggState),
+    /// A mergeable grouped aggregate.
+    Grouped(Arc<GroupedAgg>),
+    /// A final scalar value.
+    Scalar(ScalarValue),
+}
+
+impl Chunk {
+    /// Short kind name (used in error messages and plan dumps).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Chunk::Column(_) => "column",
+            Chunk::Oids(_) => "oids",
+            Chunk::Join(_) => "join",
+            Chunk::Hash(_) => "hash",
+            Chunk::AggPartial(_) => "agg-partial",
+            Chunk::Grouped(_) => "grouped",
+            Chunk::Scalar(_) => "scalar",
+        }
+    }
+
+    /// Number of rows represented by this chunk.
+    pub fn rows(&self) -> usize {
+        match self {
+            Chunk::Column(c) => c.len(),
+            Chunk::Oids(o) => o.len(),
+            Chunk::Join(j) => j.len(),
+            Chunk::Hash(h) => h.len(),
+            Chunk::AggPartial(_) | Chunk::Scalar(_) => 1,
+            Chunk::Grouped(g) => g.len(),
+        }
+    }
+
+    /// Approximate size in bytes (profiler memory claims).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Chunk::Column(c) => c.byte_size(),
+            Chunk::Oids(o) => o.len() * 8,
+            Chunk::Join(j) => j.len() * 16,
+            Chunk::Hash(h) => h.byte_size(),
+            Chunk::AggPartial(_) => std::mem::size_of::<AggState>(),
+            Chunk::Scalar(_) => std::mem::size_of::<ScalarValue>(),
+            Chunk::Grouped(g) => g.byte_size(),
+        }
+    }
+
+    /// Converts the chunk into the comparable [`QueryOutput`] representation.
+    pub fn to_output(&self) -> QueryOutput {
+        match self {
+            Chunk::Scalar(v) => QueryOutput::Scalar(v.clone()),
+            Chunk::Grouped(g) => QueryOutput::Groups(g.finish_sorted()),
+            Chunk::AggPartial(s) => QueryOutput::Scalar(s.finish()),
+            Chunk::Oids(o) => QueryOutput::Oids(o.as_ref().clone()),
+            Chunk::Column(c) => QueryOutput::Column(c.to_scalars()),
+            Chunk::Join(j) => QueryOutput::JoinPairs(
+                j.outer_oids.iter().copied().zip(j.inner_oids.iter().copied()).collect(),
+            ),
+            Chunk::Hash(h) => QueryOutput::Opaque(format!("hash-table({} entries)", h.len())),
+        }
+    }
+}
+
+/// Canonical, comparable representation of a query result.
+///
+/// Adaptive, heuristic and serial plans for the same query must produce equal
+/// `QueryOutput`s — the integration tests and the optimizer's sanity checks
+/// rely on this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A single scalar (e.g. TPC-H Q6 revenue, Q14 promo share).
+    Scalar(ScalarValue),
+    /// Sorted `(group, value)` pairs of a grouped aggregate.
+    Groups(Vec<(GroupKey, ScalarValue)>),
+    /// A candidate list.
+    Oids(Vec<Oid>),
+    /// A materialized column.
+    Column(Vec<ScalarValue>),
+    /// Join pairs.
+    JoinPairs(Vec<(Oid, Oid)>),
+    /// Something that has no natural value representation.
+    Opaque(String),
+}
+
+impl QueryOutput {
+    /// Number of result rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            QueryOutput::Scalar(_) => 1,
+            QueryOutput::Groups(g) => g.len(),
+            QueryOutput::Oids(o) => o.len(),
+            QueryOutput::Column(c) => c.len(),
+            QueryOutput::JoinPairs(p) => p.len(),
+            QueryOutput::Opaque(_) => 0,
+        }
+    }
+
+    /// Compact single-line rendering for experiment logs.
+    pub fn summary(&self) -> String {
+        match self {
+            QueryOutput::Scalar(v) => format!("scalar {v}"),
+            QueryOutput::Groups(g) => {
+                let head: Vec<String> =
+                    g.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{} groups [{}{}]", g.len(), head.join(", "), if g.len() > 3 { ", ..." } else { "" })
+            }
+            QueryOutput::Oids(o) => format!("{} oids", o.len()),
+            QueryOutput::Column(c) => format!("{} rows", c.len()),
+            QueryOutput::JoinPairs(p) => format!("{} join pairs", p.len()),
+            QueryOutput::Opaque(s) => s.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_operators::AggFunc;
+
+    #[test]
+    fn kinds_rows_and_sizes() {
+        let col = Chunk::Column(Column::from_i64(vec![1, 2, 3]));
+        assert_eq!(col.kind(), "column");
+        assert_eq!(col.rows(), 3);
+        assert_eq!(col.byte_size(), 24);
+
+        let oids = Chunk::Oids(Arc::new(vec![1, 2]));
+        assert_eq!(oids.kind(), "oids");
+        assert_eq!(oids.rows(), 2);
+        assert_eq!(oids.byte_size(), 16);
+
+        let scalar = Chunk::Scalar(ScalarValue::I64(7));
+        assert_eq!(scalar.rows(), 1);
+        assert_eq!(scalar.kind(), "scalar");
+
+        let agg = Chunk::AggPartial(AggState::new(AggFunc::Sum));
+        assert_eq!(agg.rows(), 1);
+        assert!(agg.byte_size() > 0);
+    }
+
+    #[test]
+    fn outputs_compare() {
+        let a = Chunk::Column(Column::from_i64(vec![1, 2])).to_output();
+        let b = Chunk::Column(Column::from_i64(vec![1, 2])).to_output();
+        let c = Chunk::Column(Column::from_i64(vec![2, 1])).to_output();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.rows(), 2);
+
+        let s = Chunk::Scalar(ScalarValue::I64(3)).to_output();
+        assert_eq!(s, QueryOutput::Scalar(ScalarValue::I64(3)));
+        assert_eq!(s.rows(), 1);
+        assert!(s.summary().contains('3'));
+    }
+
+    #[test]
+    fn join_and_hash_outputs() {
+        let inner = Column::from_i64(vec![1, 2]);
+        let ht = JoinHashTable::build(&inner).unwrap();
+        let out = Chunk::Hash(Arc::new(ht)).to_output();
+        assert!(matches!(out, QueryOutput::Opaque(_)));
+        assert_eq!(out.rows(), 0);
+
+        let jr = JoinResult { outer_oids: vec![0, 1], inner_oids: vec![5, 6] };
+        let out = Chunk::Join(Arc::new(jr)).to_output();
+        assert_eq!(out, QueryOutput::JoinPairs(vec![(0, 5), (1, 6)]));
+        assert!(out.summary().contains("2 join pairs"));
+    }
+
+    #[test]
+    fn groups_summary() {
+        let keys = Column::from_i64(vec![1, 1, 2, 3, 4]);
+        let vals = Column::from_i64(vec![1, 1, 1, 1, 1]);
+        let g = apq_operators::grouped_agg(AggFunc::Count, &keys, &vals).unwrap();
+        let out = Chunk::Grouped(Arc::new(g)).to_output();
+        assert_eq!(out.rows(), 4);
+        assert!(out.summary().contains("4 groups"));
+        assert!(out.summary().contains("..."));
+    }
+}

@@ -1,0 +1,501 @@
+//! The execution engine: a dataflow scheduler over a fixed worker pool.
+//!
+//! The paper's run-time environment consists of "a scheduler, an interpreter,
+//! and a profiler. The scheduler uses a data-flow graph based scheduling
+//! policy, where an operator is scheduled for execution once all its input
+//! sources are available. While an interpreter per CPU core executes the
+//! scheduled operators, the profiler gathers performance data on an executed
+//! operator basis." (§2)
+//!
+//! [`Engine`] owns the worker pool ("interpreter per CPU core"); queries are
+//! submitted with [`Engine::execute`], which performs dependency-counting
+//! dataflow scheduling: a node becomes runnable when all its producers have
+//! finished and is then pushed onto the shared task queue. Because the queue
+//! is shared by *all* concurrently submitted queries, a heavy concurrent
+//! workload creates exactly the resource contention the paper studies —
+//! plans with more partitions fight for the same workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use apq_columnar::Catalog;
+
+use crate::chunk::{Chunk, QueryOutput};
+use crate::error::{EngineError, Result};
+use crate::interpreter::execute_node;
+use crate::noise::{NoiseConfig, NoiseInjector};
+use crate::plan::{NodeId, Plan};
+use crate::profiler::{OperatorProfile, QueryProfile};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads ("interpreters"). The paper's machines have
+    /// 32 / 96 hardware threads; experiments here scale this down.
+    pub n_workers: usize,
+    /// Optional synthetic OS-noise injection (convergence robustness tests).
+    pub noise: Option<NoiseConfig>,
+    /// Fixed extra latency added to every operator execution, in
+    /// microseconds. Used to emulate a platform with slower memory access
+    /// (the 4-socket configuration of paper Fig. 17b).
+    pub per_operator_overhead_us: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            noise: None,
+            per_operator_overhead_us: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with an explicit worker count and no noise.
+    pub fn with_workers(n_workers: usize) -> Self {
+        EngineConfig { n_workers: n_workers.max(1), ..EngineConfig::default() }
+    }
+}
+
+/// Result of one query execution: the final value plus its profile.
+#[derive(Debug, Clone)]
+pub struct QueryExecution {
+    /// Canonical result value (comparable across plans of the same query).
+    pub output: QueryOutput,
+    /// Per-operator and per-query performance data.
+    pub profile: QueryProfile,
+}
+
+type Task = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// The shared execution engine (worker pool + task queue).
+pub struct Engine {
+    config: EngineConfig,
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    noise: Option<Arc<NoiseInjector>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_workers", &self.config.n_workers)
+            .field("noise", &self.config.noise)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration, spawning the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let (sender, receiver) = unbounded::<Task>();
+        let mut workers = Vec::with_capacity(config.n_workers);
+        for worker_idx in 0..config.n_workers.max(1) {
+            let rx = receiver.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("apq-worker-{worker_idx}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task(worker_idx);
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        let noise = config.noise.clone().map(|c| Arc::new(NoiseInjector::new(c)));
+        Engine { config, sender: Some(sender), workers, noise }
+    }
+
+    /// Engine with `n` workers and default settings otherwise.
+    pub fn with_workers(n: usize) -> Self {
+        Engine::new(EngineConfig::with_workers(n))
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.config.n_workers
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes a plan against a catalog, blocking until the result is ready.
+    ///
+    /// May be called concurrently from many client threads; all queries share
+    /// the same worker pool.
+    pub fn execute(&self, plan: &Plan, catalog: &Arc<Catalog>) -> Result<QueryExecution> {
+        plan.validate()?;
+        let sender = self.sender.as_ref().ok_or(EngineError::EngineShutDown)?;
+
+        let capacity = plan.capacity();
+        let live = plan.node_ids();
+        let mut deps: Vec<AtomicUsize> = Vec::with_capacity(capacity);
+        for id in 0..capacity {
+            let n = if plan.contains(id) { plan.node(id)?.inputs.len() } else { 0 };
+            deps.push(AtomicUsize::new(n));
+        }
+
+        let state = Arc::new(RunState {
+            plan: plan.clone(),
+            catalog: Arc::clone(catalog),
+            results: Mutex::new(vec![None; capacity]),
+            profiles: Mutex::new(vec![None; capacity]),
+            deps,
+            remaining: AtomicUsize::new(live.len()),
+            error: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            started: Instant::now(),
+            noise: self.noise.clone(),
+            overhead_us: self.config.per_operator_overhead_us,
+        });
+
+        // Seed the queue with every node that has no inputs. The check must
+        // use the static plan structure (not the atomic dependency counters):
+        // workers already run seeded nodes concurrently with this loop and
+        // may drive another node's counter to zero before the loop reaches
+        // it, which would double-schedule that node.
+        for &id in &live {
+            if plan.node(id)?.inputs.is_empty() {
+                spawn_node(&state, sender, id);
+            }
+        }
+
+        // Wait for completion (or failure).
+        {
+            let mut done = state.done.lock();
+            while !*done {
+                state.done_cv.wait(&mut done);
+            }
+        }
+        if let Some(err) = state.error.lock().clone() {
+            return Err(err);
+        }
+
+        let root = plan.root().expect("validated plan has a root");
+        let root_chunk = state.results.lock()[root]
+            .clone()
+            .ok_or_else(|| EngineError::InvalidPlan("root node produced no result".to_string()))?;
+        let operators: Vec<OperatorProfile> =
+            state.profiles.lock().iter().flatten().cloned().collect();
+        let profile = QueryProfile {
+            wall_time: state.started.elapsed(),
+            n_workers: self.config.n_workers,
+            operators,
+        };
+        Ok(QueryExecution { output: root_chunk.to_output(), profile })
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel lets the workers drain remaining tasks and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct RunState {
+    plan: Plan,
+    catalog: Arc<Catalog>,
+    results: Mutex<Vec<Option<Chunk>>>,
+    profiles: Mutex<Vec<Option<OperatorProfile>>>,
+    deps: Vec<AtomicUsize>,
+    remaining: AtomicUsize,
+    error: Mutex<Option<EngineError>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    started: Instant,
+    noise: Option<Arc<NoiseInjector>>,
+    overhead_us: u64,
+}
+
+impl RunState {
+    fn finish(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.done_cv.notify_all();
+    }
+
+    fn fail(&self, err: EngineError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.finish();
+    }
+}
+
+fn spawn_node(state: &Arc<RunState>, sender: &Sender<Task>, node: NodeId) {
+    let st = Arc::clone(state);
+    let snd = sender.clone();
+    let _ = sender.send(Box::new(move |worker| run_node(st, snd, node, worker)));
+}
+
+fn run_node(state: Arc<RunState>, sender: Sender<Task>, node: NodeId, worker: usize) {
+    // A failed sibling already tore the query down; do nothing.
+    if state.error.lock().is_some() {
+        return;
+    }
+    let node_ref = match state.plan.node(node) {
+        Ok(n) => n.clone(),
+        Err(e) => return state.fail(e),
+    };
+
+    // Gather the (already materialized) inputs.
+    let inputs: Vec<Chunk> = {
+        let results = state.results.lock();
+        let mut gathered = Vec::with_capacity(node_ref.inputs.len());
+        for &input in &node_ref.inputs {
+            match results.get(input).and_then(Clone::clone) {
+                Some(chunk) => gathered.push(chunk),
+                None => {
+                    drop(results);
+                    return state.fail(EngineError::InvalidPlan(format!(
+                        "node {node} was scheduled before its input {input} completed"
+                    )));
+                }
+            }
+        }
+        gathered
+    };
+
+    let start_us = state.started.elapsed().as_micros() as u64;
+    let outcome = execute_node(node, &node_ref.spec, &inputs, &state.catalog);
+    if state.overhead_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(state.overhead_us));
+    }
+    if let Some(noise) = &state.noise {
+        noise.inject();
+    }
+    let end_us = state.started.elapsed().as_micros() as u64;
+
+    let chunk = match outcome {
+        Ok(chunk) => chunk,
+        Err(e) => return state.fail(e),
+    };
+
+    {
+        let mut profiles = state.profiles.lock();
+        profiles[node] = Some(OperatorProfile {
+            node,
+            name: node_ref.spec.name(),
+            start_us,
+            duration_us: end_us.saturating_sub(start_us),
+            worker,
+            rows_out: chunk.rows(),
+            bytes_out: chunk.byte_size(),
+        });
+    }
+    {
+        let mut results = state.results.lock();
+        results[node] = Some(chunk);
+    }
+
+    // Wake up consumers whose dependencies are now all satisfied.
+    for consumer in state.plan.consumers(node) {
+        let edges = state
+            .plan
+            .node(consumer)
+            .map(|c| c.inputs.iter().filter(|&&i| i == node).count())
+            .unwrap_or(0);
+        if edges == 0 {
+            continue;
+        }
+        let before = state.deps[consumer].fetch_sub(edges, Ordering::AcqRel);
+        if before == edges {
+            spawn_node(&state, &sender, consumer);
+        }
+    }
+
+    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        state.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_columnar::{ScalarValue, TableBuilder};
+    use apq_operators::{AggFunc, CmpOp, Predicate};
+
+    use crate::plan::OperatorSpec;
+
+    fn catalog(rows: usize) -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("t")
+                .i64_column("a", (0..rows as i64).collect())
+                .i64_column("b", (0..rows as i64).map(|v| v * 2).collect())
+                .build()
+                .unwrap(),
+        );
+        Arc::new(c)
+    }
+
+    fn scan(col: &str, rows: usize) -> OperatorSpec {
+        OperatorSpec::ScanColumn { table: "t".into(), column: col.into(), range: RowRange::new(0, rows) }
+    }
+
+    /// Serial plan: sum(b) where a < threshold.
+    fn filter_sum_plan(rows: usize, threshold: i64) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(scan("a", rows), vec![]);
+        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+        let b = p.add(scan("b", rows), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    #[test]
+    fn executes_serial_plan() {
+        let engine = Engine::with_workers(2);
+        let cat = catalog(1000);
+        let plan = filter_sum_plan(1000, 10);
+        let exec = engine.execute(&plan, &cat).unwrap();
+        // sum of b over a in [0,10) = 2 * (0+..+9) = 90.
+        assert_eq!(exec.output, QueryOutput::Scalar(ScalarValue::I64(90)));
+        assert_eq!(exec.profile.operators.len(), 6);
+        assert!(exec.profile.wall_us() > 0);
+        assert!(exec.profile.most_expensive().is_some());
+    }
+
+    #[test]
+    fn parallel_partitioned_plan_gives_same_answer() {
+        let engine = Engine::with_workers(4);
+        let cat = catalog(10_000);
+        let serial = filter_sum_plan(10_000, 500);
+        let serial_out = engine.execute(&serial, &cat).unwrap().output;
+
+        // Hand-built two-partition version of the same query.
+        let mut p = Plan::new();
+        let a0 = p.add(
+            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(0, 5_000) },
+            vec![],
+        );
+        let a1 = p.add(
+            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(5_000, 10_000) },
+            vec![],
+        );
+        let pred = Predicate::cmp(CmpOp::Lt, 500i64);
+        let s0 = p.add(OperatorSpec::Select { predicate: pred.clone() }, vec![a0]);
+        let s1 = p.add(OperatorSpec::Select { predicate: pred }, vec![a1]);
+        let b = p.add(scan("b", 10_000), vec![]);
+        let f0 = p.add(OperatorSpec::Fetch, vec![s0, b]);
+        let f1 = p.add(OperatorSpec::Fetch, vec![s1, b]);
+        let g0 = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![f0]);
+        let g1 = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![f1]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![g0, g1]);
+        p.set_root(fin);
+
+        let exec = engine.execute(&p, &cat).unwrap();
+        assert_eq!(exec.output, serial_out);
+        // Both partitions' operators were profiled.
+        assert_eq!(exec.profile.operators.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_pool() {
+        let engine = Arc::new(Engine::with_workers(3));
+        let cat = catalog(5_000);
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let engine = Arc::clone(&engine);
+            let cat = Arc::clone(&cat);
+            handles.push(std::thread::spawn(move || {
+                let plan = filter_sum_plan(5_000, 100 + i);
+                engine.execute(&plan, &cat).unwrap().output
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.join().unwrap();
+            let threshold = 100 + i as i64;
+            let expected: i64 = (0..threshold).map(|v| v * 2).sum();
+            assert_eq!(out, QueryOutput::Scalar(ScalarValue::I64(expected)));
+        }
+    }
+
+    #[test]
+    fn execution_errors_are_propagated() {
+        let engine = Engine::with_workers(2);
+        let cat = catalog(10);
+        // Division by zero in a calc node.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 10), vec![]);
+        let div = p.add(
+            OperatorSpec::Calc {
+                op: apq_operators::BinaryOp::Div,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(0)),
+            },
+            vec![a],
+        );
+        p.set_root(div);
+        let err = engine.execute(&p, &cat).unwrap_err();
+        assert!(matches!(err, EngineError::Operator(_)));
+
+        // Unknown table surfaces as a storage error.
+        let mut p = Plan::new();
+        let bad = p.add(
+            OperatorSpec::ScanColumn { table: "missing".into(), column: "x".into(), range: RowRange::new(0, 1) },
+            vec![],
+        );
+        p.set_root(bad);
+        assert!(engine.execute(&p, &cat).is_err());
+
+        // Invalid plans are rejected before execution.
+        let p = Plan::new();
+        assert!(matches!(engine.execute(&p, &cat), Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn noise_and_overhead_inflate_operator_times() {
+        let cat = catalog(100);
+        let plan = filter_sum_plan(100, 50);
+        let quiet = Engine::new(EngineConfig { n_workers: 2, noise: None, per_operator_overhead_us: 0 });
+        let slow = Engine::new(EngineConfig {
+            n_workers: 2,
+            noise: None,
+            per_operator_overhead_us: 500,
+        });
+        let q = quiet.execute(&plan, &cat).unwrap();
+        let s = slow.execute(&plan, &cat).unwrap();
+        assert_eq!(q.output, s.output);
+        assert!(s.profile.total_cpu_us() > q.profile.total_cpu_us() + 1_000);
+
+        let noisy = Engine::new(EngineConfig {
+            n_workers: 2,
+            noise: Some(NoiseConfig { probability: 1.0, max_delay_us: 300, seed: 7 }),
+            per_operator_overhead_us: 0,
+        });
+        let n = noisy.execute(&plan, &cat).unwrap();
+        assert_eq!(n.output, q.output);
+    }
+
+    #[test]
+    fn engine_debug_and_config() {
+        let engine = Engine::with_workers(2);
+        assert_eq!(engine.n_workers(), 2);
+        assert!(format!("{engine:?}").contains("n_workers"));
+        assert_eq!(engine.config().per_operator_overhead_us, 0);
+        let default_cfg = EngineConfig::default();
+        assert!(default_cfg.n_workers >= 1);
+    }
+}

@@ -1,0 +1,681 @@
+//! Node interpreter: executes one plan node given its materialized inputs.
+//!
+//! The paper's run-time environment has "an interpreter per CPU core
+//! [that] executes the scheduled operators" (§2). [`execute_node`] is that
+//! interpreter's body: it dispatches an [`OperatorSpec`] over the input
+//! [`Chunk`]s and materializes the output chunk. It is a pure function —
+//! all scheduling, profiling and threading lives in the executor.
+
+use std::sync::Arc;
+
+use apq_columnar::{Catalog, Column, DataType, Oid, ScalarValue};
+use apq_operators::{
+    calc_col_col, calc_col_scalar, calc_scalar_col, fetch, fetch_clamped, grouped_agg,
+    scalar_agg, select, select_with_candidates, AggState, BinaryOp, GroupedAgg, JoinHashTable,
+    JoinResult, OperatorError,
+};
+
+use crate::chunk::Chunk;
+use crate::error::{EngineError, Result};
+use crate::plan::{JoinSide, NodeId, OperatorSpec};
+
+fn input_error(node: NodeId, expected: &'static str, found: &Chunk) -> EngineError {
+    EngineError::InvalidInput { node, expected, found: found.kind() }
+}
+
+fn as_column<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Column> {
+    match chunk {
+        Chunk::Column(c) => Ok(c),
+        other => Err(input_error(node, "column", other)),
+    }
+}
+
+fn as_oids<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<Vec<Oid>>> {
+    match chunk {
+        Chunk::Oids(o) => Ok(o),
+        other => Err(input_error(node, "oids", other)),
+    }
+}
+
+fn as_hash<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<JoinHashTable>> {
+    match chunk {
+        Chunk::Hash(h) => Ok(h),
+        other => Err(input_error(node, "hash", other)),
+    }
+}
+
+fn as_join<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<JoinResult>> {
+    match chunk {
+        Chunk::Join(j) => Ok(j),
+        other => Err(input_error(node, "join", other)),
+    }
+}
+
+fn as_scalar<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a ScalarValue> {
+    match chunk {
+        Chunk::Scalar(s) => Ok(s),
+        other => Err(input_error(node, "scalar", other)),
+    }
+}
+
+/// Executes one operator over its inputs.
+///
+/// `node` is only used to label errors; `catalog` resolves `ScanColumn`
+/// leaves.
+pub fn execute_node(
+    node: NodeId,
+    spec: &OperatorSpec,
+    inputs: &[Chunk],
+    catalog: &Catalog,
+) -> Result<Chunk> {
+    match spec {
+        OperatorSpec::ScanColumn { table, column, range } => {
+            let col = catalog.table(table)?.column(column)?;
+            let end = range.end.min(col.len());
+            let start = range.start.min(end);
+            Ok(Chunk::Column(col.slice(start, end - start)?))
+        }
+
+        OperatorSpec::SlicePart { start, len } => slice_part(node, &inputs[0], *start, *len),
+
+        OperatorSpec::Select { predicate } => {
+            let col = as_column(node, &inputs[0])?;
+            let oids = if inputs.len() > 1 {
+                let cands = as_oids(node, &inputs[1])?;
+                select_with_candidates(col, predicate, cands)?
+            } else {
+                select(col, predicate)?
+            };
+            Ok(Chunk::Oids(Arc::new(oids)))
+        }
+
+        OperatorSpec::PredMask { predicate } => {
+            let col = as_column(node, &inputs[0])?;
+            // Element-wise outputs stay oid-aligned with their input so that
+            // downstream selections keep producing absolute oids even when the
+            // input is a base-column partition (paper §2.3 alignment).
+            Ok(Chunk::Column(
+                Column::from_bool(predicate.eval_mask(col)?).with_base_oid(col.base_oid()),
+            ))
+        }
+
+        OperatorSpec::IfThenElse { otherwise } => {
+            let cond = as_column(node, &inputs[0])?;
+            let then = as_column(node, &inputs[1])?;
+            Ok(Chunk::Column(
+                if_then_else(node, cond, then, otherwise)?.with_base_oid(cond.base_oid()),
+            ))
+        }
+
+        OperatorSpec::Fetch => {
+            let oids = as_oids(node, &inputs[0])?;
+            let col = as_column(node, &inputs[1])?;
+            Ok(Chunk::Column(fetch(col, oids)?))
+        }
+
+        OperatorSpec::FetchClamped => {
+            let oids = as_oids(node, &inputs[0])?;
+            let col = as_column(node, &inputs[1])?;
+            let (fetched, _, _) = fetch_clamped(col, oids)?;
+            Ok(Chunk::Column(fetched))
+        }
+
+        OperatorSpec::HashBuild => {
+            let col = as_column(node, &inputs[0])?;
+            Ok(Chunk::Hash(Arc::new(JoinHashTable::build(col)?)))
+        }
+
+        OperatorSpec::HashProbe => {
+            let outer = as_column(node, &inputs[0])?;
+            let hash = as_hash(node, &inputs[1])?;
+            Ok(Chunk::Join(Arc::new(hash.probe(outer)?)))
+        }
+
+        OperatorSpec::SemiJoin => {
+            let outer = as_column(node, &inputs[0])?;
+            let hash = as_hash(node, &inputs[1])?;
+            Ok(Chunk::Oids(Arc::new(hash.probe_semi(outer)?)))
+        }
+
+        OperatorSpec::AntiJoin => {
+            let outer = as_column(node, &inputs[0])?;
+            let hash = as_hash(node, &inputs[1])?;
+            Ok(Chunk::Oids(Arc::new(anti_join(outer, hash)?)))
+        }
+
+        OperatorSpec::ProjectJoinSide { side } => {
+            let join = as_join(node, &inputs[0])?;
+            let oids = match side {
+                JoinSide::Outer => join.outer_oids.clone(),
+                JoinSide::Inner => join.inner_oids.clone(),
+            };
+            Ok(Chunk::Oids(Arc::new(oids)))
+        }
+
+        OperatorSpec::OidsFromColumn => {
+            let col = as_column(node, &inputs[0])?;
+            let oids: Vec<Oid> = match col.data_type() {
+                DataType::Int64 => col
+                    .i64_values()
+                    .map_err(OperatorError::from)?
+                    .iter()
+                    .map(|&v| v.max(0) as Oid)
+                    .collect(),
+                DataType::Int32 => col
+                    .i32_values()
+                    .map_err(OperatorError::from)?
+                    .iter()
+                    .map(|&v| v.max(0) as Oid)
+                    .collect(),
+                other => {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "node {node}: cannot interpret a {other} column as oids"
+                    )))
+                }
+            };
+            Ok(Chunk::Oids(Arc::new(oids)))
+        }
+
+        OperatorSpec::Calc { op, left_scalar, right_scalar } => {
+            let first = as_column(node, &inputs[0])?;
+            let out = match (left_scalar, right_scalar) {
+                (Some(s), None) => calc_scalar_col(*op, s, first)?,
+                (None, Some(s)) => calc_col_scalar(*op, first, s)?,
+                (None, None) => {
+                    let second = as_column(node, &inputs[1])?;
+                    calc_col_col(*op, first, second)?
+                }
+                (Some(_), Some(_)) => {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "node {node}: calc with two scalar operands has no column input"
+                    )))
+                }
+            };
+            // `batcalc` outputs stay aligned with their (first) column input.
+            Ok(Chunk::Column(out.with_base_oid(first.base_oid())))
+        }
+
+        OperatorSpec::ScalarAgg { func } => {
+            let col = as_column(node, &inputs[0])?;
+            Ok(Chunk::AggPartial(scalar_agg(*func, col)?))
+        }
+
+        OperatorSpec::FinalizeAgg { func } => {
+            let mut state = AggState::new(*func);
+            for chunk in inputs {
+                match chunk {
+                    Chunk::AggPartial(p) => state.merge(p)?,
+                    other => return Err(input_error(node, "agg-partial", other)),
+                }
+            }
+            Ok(Chunk::Scalar(state.finish()))
+        }
+
+        OperatorSpec::GroupAgg { func } => {
+            let keys = as_column(node, &inputs[0])?;
+            let values = as_column(node, &inputs[1])?;
+            Ok(Chunk::Grouped(Arc::new(grouped_agg(*func, keys, values)?)))
+        }
+
+        OperatorSpec::MergeGrouped => {
+            let mut iter = inputs.iter();
+            let first = match iter.next() {
+                Some(Chunk::Grouped(g)) => g,
+                Some(other) => return Err(input_error(node, "grouped", other)),
+                None => return Err(EngineError::Operator(OperatorError::EmptyInput("mergegroup"))),
+            };
+            let mut merged = GroupedAgg::new(first.func());
+            merged.merge(first)?;
+            for chunk in iter {
+                match chunk {
+                    Chunk::Grouped(g) => merged.merge(g)?,
+                    other => return Err(input_error(node, "grouped", other)),
+                }
+            }
+            Ok(Chunk::Grouped(Arc::new(merged)))
+        }
+
+        OperatorSpec::ExchangeUnion => exchange_union(node, inputs),
+
+        OperatorSpec::CalcScalars { op } => {
+            let a = as_scalar(node, &inputs[0])?;
+            let b = as_scalar(node, &inputs[1])?;
+            Ok(Chunk::Scalar(calc_scalars(*op, a, b)?))
+        }
+    }
+}
+
+/// Positional slice of an intermediate chunk, clamped to the actual length
+/// (the boundary adjustment of paper Fig. 9 for dynamically sized partitions).
+fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) -> Result<Chunk> {
+    match input {
+        Chunk::Column(c) => {
+            let end = (start + len).min(c.len());
+            let start = start.min(end);
+            Ok(Chunk::Column(c.slice(start, end - start)?))
+        }
+        Chunk::Oids(o) => {
+            let end = (start + len).min(o.len());
+            let start = start.min(end);
+            Ok(Chunk::Oids(Arc::new(o[start..end].to_vec())))
+        }
+        Chunk::Join(j) => {
+            let end = (start + len).min(j.len());
+            let start = start.min(end);
+            Ok(Chunk::Join(Arc::new(JoinResult {
+                outer_oids: j.outer_oids[start..end].to_vec(),
+                inner_oids: j.inner_oids[start..end].to_vec(),
+            })))
+        }
+        other => Err(input_error(node, "column, oids or join", other)),
+    }
+}
+
+/// `out[i] = cond[i] ? then[i] : otherwise`.
+fn if_then_else(
+    node: NodeId,
+    cond: &Column,
+    then: &Column,
+    otherwise: &ScalarValue,
+) -> Result<Column> {
+    if cond.len() != then.len() {
+        return Err(EngineError::Operator(OperatorError::LengthMismatch {
+            left: cond.len(),
+            right: then.len(),
+        }));
+    }
+    let mask = cond.bool_values().map_err(OperatorError::from)?;
+    match then.data_type() {
+        DataType::Int64 => {
+            let vals = then.i64_values().map_err(OperatorError::from)?;
+            let other = otherwise.as_i64().ok_or_else(|| {
+                EngineError::InvalidPlan(format!("node {node}: ifthenelse otherwise must be an integer"))
+            })?;
+            Ok(Column::from_i64(
+                mask.iter().zip(vals).map(|(&m, &v)| if m { v } else { other }).collect(),
+            ))
+        }
+        DataType::Float64 => {
+            let vals = then.f64_values().map_err(OperatorError::from)?;
+            let other = otherwise.as_f64().ok_or_else(|| {
+                EngineError::InvalidPlan(format!("node {node}: ifthenelse otherwise must be numeric"))
+            })?;
+            Ok(Column::from_f64(
+                mask.iter().zip(vals).map(|(&m, &v)| if m { v } else { other }).collect(),
+            ))
+        }
+        other => Err(EngineError::InvalidPlan(format!(
+            "node {node}: ifthenelse over {other} column is not supported"
+        ))),
+    }
+}
+
+/// Outer oids that have no build-side match.
+fn anti_join(outer: &Column, hash: &JoinHashTable) -> Result<Vec<Oid>> {
+    let matching = hash.probe_semi(outer)?;
+    let mut matching_iter = matching.into_iter().peekable();
+    let base = outer.base_oid();
+    let mut out = Vec::new();
+    for i in 0..outer.len() {
+        let oid = base + i as Oid;
+        if matching_iter.peek() == Some(&oid) {
+            matching_iter.next();
+        } else {
+            out.push(oid);
+        }
+    }
+    Ok(out)
+}
+
+/// The exchange-union operator: packs same-kind chunks in argument order.
+fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
+    let first = inputs
+        .first()
+        .ok_or(EngineError::Operator(OperatorError::EmptyInput("union")))?;
+    match first {
+        Chunk::Oids(_) => {
+            let mut parts = Vec::with_capacity(inputs.len());
+            for chunk in inputs {
+                parts.push(as_oids(node, chunk)?.as_ref().clone());
+            }
+            Ok(Chunk::Oids(Arc::new(apq_operators::pack_oids(&parts))))
+        }
+        Chunk::Column(first_col) => {
+            let mut parts = Vec::with_capacity(inputs.len());
+            for chunk in inputs {
+                parts.push(as_column(node, chunk)?.clone());
+            }
+            // Clones are packed in partition (mutation-sequence) order, so the
+            // packed column's rows start at the first partition's base oid.
+            Ok(Chunk::Column(
+                apq_operators::pack_columns(&parts)?.with_base_oid(first_col.base_oid()),
+            ))
+        }
+        Chunk::Join(_) => {
+            let mut parts = Vec::with_capacity(inputs.len());
+            for chunk in inputs {
+                parts.push(as_join(node, chunk)?.as_ref().clone());
+            }
+            Ok(Chunk::Join(Arc::new(JoinResult::concat(&parts))))
+        }
+        Chunk::AggPartial(first_state) => {
+            let mut state = AggState::new(first_state.func());
+            for chunk in inputs {
+                match chunk {
+                    Chunk::AggPartial(p) => state.merge(p)?,
+                    other => return Err(input_error(node, "agg-partial", other)),
+                }
+            }
+            Ok(Chunk::AggPartial(state))
+        }
+        Chunk::Grouped(first_group) => {
+            let mut merged = GroupedAgg::new(first_group.func());
+            for chunk in inputs {
+                match chunk {
+                    Chunk::Grouped(g) => merged.merge(g)?,
+                    other => return Err(input_error(node, "grouped", other)),
+                }
+            }
+            Ok(Chunk::Grouped(Arc::new(merged)))
+        }
+        other => Err(input_error(node, "packable chunk", other)),
+    }
+}
+
+/// Scalar-scalar arithmetic for final result expressions.
+fn calc_scalars(op: BinaryOp, a: &ScalarValue, b: &ScalarValue) -> Result<ScalarValue> {
+    let float = matches!(a, ScalarValue::F64(_))
+        || matches!(b, ScalarValue::F64(_))
+        || op == BinaryOp::Div;
+    if float {
+        let (x, y) = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => {
+                return Err(EngineError::Operator(OperatorError::InvalidCalc(format!(
+                    "cannot apply {} to {a} and {b}",
+                    op.symbol()
+                ))))
+            }
+        };
+        let v = match op {
+            BinaryOp::Add => x + y,
+            BinaryOp::Sub => x - y,
+            BinaryOp::Mul => x * y,
+            BinaryOp::Div => {
+                if y == 0.0 {
+                    return Err(EngineError::Operator(OperatorError::DivisionByZero));
+                }
+                x / y
+            }
+        };
+        Ok(ScalarValue::F64(v))
+    } else {
+        let (x, y) = match (a.as_i64(), b.as_i64()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => {
+                return Err(EngineError::Operator(OperatorError::InvalidCalc(format!(
+                    "cannot apply {} to {a} and {b}",
+                    op.symbol()
+                ))))
+            }
+        };
+        let v = match op {
+            BinaryOp::Add => x.wrapping_add(y),
+            BinaryOp::Sub => x.wrapping_sub(y),
+            BinaryOp::Mul => x.wrapping_mul(y),
+            BinaryOp::Div => unreachable!("division handled in the float branch"),
+        };
+        Ok(ScalarValue::I64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_columnar::TableBuilder;
+    use apq_operators::{AggFunc, CmpOp, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("t")
+                .i64_column("a", (0..100).collect())
+                .i64_column("b", (0..100).map(|v| v * 10).collect())
+                .str_column("s", (0..100).map(|v| if v % 2 == 0 { "even" } else { "odd" }).collect())
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    fn scan(range: RowRange, column: &str) -> OperatorSpec {
+        OperatorSpec::ScanColumn { table: "t".into(), column: column.into(), range }
+    }
+
+    #[test]
+    fn scan_select_fetch_pipeline() {
+        let cat = catalog();
+        let col = execute_node(0, &scan(RowRange::new(0, 100), "a"), &[], &cat).unwrap();
+        assert_eq!(col.rows(), 100);
+        let oids = execute_node(
+            1,
+            &OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) },
+            &[col.clone()],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(oids.rows(), 5);
+        let b = execute_node(2, &scan(RowRange::new(0, 100), "b"), &[], &cat).unwrap();
+        let fetched = execute_node(3, &OperatorSpec::Fetch, &[oids, b], &cat).unwrap();
+        match &fetched {
+            Chunk::Column(c) => assert_eq!(c.i64_values().unwrap(), &[0, 10, 20, 30, 40]),
+            other => panic!("unexpected chunk {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_clamps_to_table_size() {
+        let cat = catalog();
+        let col = execute_node(0, &scan(RowRange::new(90, 500), "a"), &[], &cat).unwrap();
+        assert_eq!(col.rows(), 10);
+        let missing = execute_node(
+            0,
+            &OperatorSpec::ScanColumn { table: "nope".into(), column: "a".into(), range: RowRange::new(0, 1) },
+            &[],
+            &cat,
+        );
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn select_with_candidates_and_union() {
+        let cat = catalog();
+        let col = execute_node(0, &scan(RowRange::new(0, 100), "a"), &[], &cat).unwrap();
+        let cands = Chunk::Oids(Arc::new(vec![1, 3, 50, 99]));
+        let sel = OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 50i64) };
+        let out = execute_node(1, &sel, &[col, cands], &cat).unwrap();
+        match &out {
+            Chunk::Oids(o) => assert_eq!(o.as_ref(), &vec![50, 99]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let packed = execute_node(
+            2,
+            &OperatorSpec::ExchangeUnion,
+            &[Chunk::Oids(Arc::new(vec![1, 2])), out],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(packed.rows(), 4);
+    }
+
+    #[test]
+    fn hash_join_and_projection() {
+        let cat = catalog();
+        let inner = Chunk::Column(Column::from_i64(vec![2, 4, 6]));
+        let hash = execute_node(0, &OperatorSpec::HashBuild, &[inner], &cat).unwrap();
+        let outer = Chunk::Column(Column::from_i64(vec![1, 2, 4, 4]));
+        let join = execute_node(1, &OperatorSpec::HashProbe, &[outer.clone(), hash.clone()], &cat).unwrap();
+        assert_eq!(join.rows(), 3);
+        let outer_side = execute_node(
+            2,
+            &OperatorSpec::ProjectJoinSide { side: JoinSide::Outer },
+            &[join.clone()],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(outer_side.to_output(), crate::chunk::QueryOutput::Oids(vec![1, 2, 3]));
+        let inner_side = execute_node(
+            3,
+            &OperatorSpec::ProjectJoinSide { side: JoinSide::Inner },
+            &[join],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(inner_side.to_output(), crate::chunk::QueryOutput::Oids(vec![0, 1, 1]));
+
+        let semi = execute_node(4, &OperatorSpec::SemiJoin, &[outer.clone(), hash.clone()], &cat).unwrap();
+        assert_eq!(semi.to_output(), crate::chunk::QueryOutput::Oids(vec![1, 2, 3]));
+        let anti = execute_node(5, &OperatorSpec::AntiJoin, &[outer, hash], &cat).unwrap();
+        assert_eq!(anti.to_output(), crate::chunk::QueryOutput::Oids(vec![0]));
+    }
+
+    #[test]
+    fn calc_mask_ifthenelse() {
+        let cat = catalog();
+        let prices = Chunk::Column(Column::from_i64(vec![100, 200, 300]));
+        let discounts = Chunk::Column(Column::from_i64(vec![10, 20, 30]));
+        let one_minus = execute_node(
+            0,
+            &OperatorSpec::Calc {
+                op: BinaryOp::Sub,
+                left_scalar: Some(ScalarValue::I64(100)),
+                right_scalar: None,
+            },
+            &[discounts],
+            &cat,
+        )
+        .unwrap();
+        let raw = execute_node(
+            1,
+            &OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            &[prices, one_minus],
+            &cat,
+        )
+        .unwrap();
+        let rev = execute_node(
+            2,
+            &OperatorSpec::Calc {
+                op: BinaryOp::Div,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(100)),
+            },
+            &[raw],
+            &cat,
+        )
+        .unwrap();
+        match &rev {
+            Chunk::Column(c) => assert_eq!(c.i64_values().unwrap(), &[90, 160, 210]),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let s = execute_node(3, &scan(RowRange::new(0, 3), "s"), &[], &cat).unwrap();
+        let mask = execute_node(
+            4,
+            &OperatorSpec::PredMask { predicate: Predicate::cmp(CmpOp::Eq, "even") },
+            &[s],
+            &cat,
+        )
+        .unwrap();
+        let guarded = execute_node(
+            5,
+            &OperatorSpec::IfThenElse { otherwise: ScalarValue::I64(0) },
+            &[mask, rev],
+            &cat,
+        )
+        .unwrap();
+        match &guarded {
+            Chunk::Column(c) => assert_eq!(c.i64_values().unwrap(), &[90, 0, 210]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_scalars() {
+        let cat = catalog();
+        let col = Chunk::Column(Column::from_i64(vec![1, 2, 3, 4]));
+        let partial = execute_node(0, &OperatorSpec::ScalarAgg { func: AggFunc::Sum }, &[col.clone()], &cat).unwrap();
+        let partial2 = execute_node(1, &OperatorSpec::ScalarAgg { func: AggFunc::Sum }, &[col], &cat).unwrap();
+        let total = execute_node(
+            2,
+            &OperatorSpec::FinalizeAgg { func: AggFunc::Sum },
+            &[partial, partial2],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(total.to_output(), crate::chunk::QueryOutput::Scalar(ScalarValue::I64(20)));
+
+        let keys = Chunk::Column(Column::from_strings(["a", "b", "a"]));
+        let vals = Chunk::Column(Column::from_i64(vec![1, 2, 3]));
+        let grouped = execute_node(3, &OperatorSpec::GroupAgg { func: AggFunc::Sum }, &[keys, vals], &cat).unwrap();
+        let merged = execute_node(4, &OperatorSpec::MergeGrouped, &[grouped.clone(), grouped], &cat).unwrap();
+        match merged.to_output() {
+            crate::chunk::QueryOutput::Groups(g) => {
+                assert_eq!(g.len(), 2);
+                assert_eq!(g[0].1, ScalarValue::I64(8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let ratio = execute_node(
+            5,
+            &OperatorSpec::CalcScalars { op: BinaryOp::Div },
+            &[Chunk::Scalar(ScalarValue::I64(50)), Chunk::Scalar(ScalarValue::I64(200))],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(ratio.to_output(), crate::chunk::QueryOutput::Scalar(ScalarValue::F64(0.25)));
+        let sum = execute_node(
+            6,
+            &OperatorSpec::CalcScalars { op: BinaryOp::Add },
+            &[Chunk::Scalar(ScalarValue::I64(1)), Chunk::Scalar(ScalarValue::I64(2))],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(sum.to_output(), crate::chunk::QueryOutput::Scalar(ScalarValue::I64(3)));
+    }
+
+    #[test]
+    fn slice_part_clamps() {
+        let cat = catalog();
+        let col = Chunk::Column(Column::from_i64(vec![1, 2, 3, 4, 5]));
+        let sliced = execute_node(0, &OperatorSpec::SlicePart { start: 2, len: 10 }, &[col], &cat).unwrap();
+        assert_eq!(sliced.rows(), 3);
+        let oids = Chunk::Oids(Arc::new(vec![9, 8, 7]));
+        let sliced = execute_node(1, &OperatorSpec::SlicePart { start: 1, len: 1 }, &[oids], &cat).unwrap();
+        assert_eq!(sliced.to_output(), crate::chunk::QueryOutput::Oids(vec![8]));
+        let join = Chunk::Join(Arc::new(JoinResult { outer_oids: vec![1, 2], inner_oids: vec![3, 4] }));
+        let sliced = execute_node(2, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[join], &cat).unwrap();
+        assert_eq!(sliced.rows(), 1);
+        let scalar = Chunk::Scalar(ScalarValue::I64(1));
+        assert!(execute_node(3, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[scalar], &cat).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported_with_node_ids() {
+        let cat = catalog();
+        let scalar = Chunk::Scalar(ScalarValue::I64(1));
+        let err = execute_node(
+            42,
+            &OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 1i64) },
+            &[scalar.clone()],
+            &cat,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidInput { node: 42, .. }));
+        let err = execute_node(7, &OperatorSpec::ExchangeUnion, &[scalar], &cat).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidInput { node: 7, .. }));
+        let err = execute_node(8, &OperatorSpec::ExchangeUnion, &[], &cat).unwrap_err();
+        assert!(matches!(err, EngineError::Operator(_)));
+    }
+}

@@ -1,0 +1,33 @@
+//! Operator-at-a-time dataflow execution engine.
+//!
+//! This crate is the MonetDB-analogue substrate the paper's adaptive
+//! parallelization runs on:
+//!
+//! * [`plan`] — the dataflow plan DAG ([`Plan`], [`OperatorSpec`]) in which
+//!   "identification of individual expensive operators" is possible, plus the
+//!   per-operator metadata (partitionable inputs, combiner kind) the plan
+//!   mutations rely on;
+//! * [`chunk`] — materialized intermediates flowing along plan edges;
+//! * [`interpreter`] — executes one operator over its inputs;
+//! * [`executor`] — the shared worker pool and dependency-driven dataflow
+//!   scheduler ("an operator is scheduled for execution once all its input
+//!   sources are available"), usable concurrently by many client threads;
+//! * [`profiler`] — per-operator execution feedback (time, worker, memory
+//!   claim) and query-level multi-core-utilization metrics;
+//! * [`noise`] — reproducible synthetic OS-noise injection for the
+//!   convergence-robustness experiments.
+
+pub mod chunk;
+pub mod error;
+pub mod executor;
+pub mod interpreter;
+pub mod noise;
+pub mod plan;
+pub mod profiler;
+
+pub use chunk::{Chunk, QueryOutput};
+pub use error::{EngineError, Result};
+pub use executor::{Engine, EngineConfig, QueryExecution};
+pub use noise::{NoiseConfig, NoiseInjector};
+pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};
+pub use profiler::{OperatorProfile, QueryProfile};

@@ -1,0 +1,118 @@
+//! Run-time noise injection.
+//!
+//! The convergence algorithm must cope with "a noisy environment (operating
+//! system process interference, memory flushes, etc.)" where "the execution
+//! time of some of the runs is often greater than the serial plan execution
+//! time" (paper §3.3.3). Real OS noise is neither controllable nor
+//! reproducible, so the engine can inject synthetic per-operator delays:
+//! with a configurable probability an executed operator is stretched by a
+//! uniformly random delay. Experiments that test outlier handling switch
+//! this on; all other experiments leave it off.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic noise injector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability that an operator execution is delayed (0.0 ..= 1.0).
+    pub probability: f64,
+    /// Maximum injected delay per affected operator, in microseconds.
+    pub max_delay_us: u64,
+    /// RNG seed, so noisy experiments stay reproducible.
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// A mild noise profile suitable for convergence-robustness tests.
+    pub fn mild(seed: u64) -> Self {
+        NoiseConfig { probability: 0.05, max_delay_us: 2_000, seed }
+    }
+
+    /// A heavy noise profile producing occasional large peaks (paper Fig. 11,
+    /// the spike around run 30).
+    pub fn heavy(seed: u64) -> Self {
+        NoiseConfig { probability: 0.15, max_delay_us: 20_000, seed }
+    }
+}
+
+/// Run-time state of the noise injector (shared by all workers).
+#[derive(Debug)]
+pub struct NoiseInjector {
+    config: NoiseConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl NoiseInjector {
+    /// Creates an injector from its configuration.
+    pub fn new(config: NoiseConfig) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(config.seed));
+        NoiseInjector { config, rng }
+    }
+
+    /// The configuration this injector was built from.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Draws the delay to inject after one operator execution (0 most of the time).
+    pub fn draw_delay_us(&self) -> u64 {
+        let mut rng = self.rng.lock();
+        if rng.gen_bool(self.config.probability.clamp(0.0, 1.0)) {
+            rng.gen_range(0..=self.config.max_delay_us)
+        } else {
+            0
+        }
+    }
+
+    /// Sleeps for a freshly drawn delay (no-op most of the time).
+    pub fn inject(&self) {
+        let delay = self.draw_delay_us();
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_delays() {
+        let inj = NoiseInjector::new(NoiseConfig { probability: 0.0, max_delay_us: 1000, seed: 1 });
+        for _ in 0..100 {
+            assert_eq!(inj.draw_delay_us(), 0);
+        }
+        inj.inject(); // must not sleep measurably
+    }
+
+    #[test]
+    fn full_probability_always_delays_within_bounds() {
+        let inj = NoiseInjector::new(NoiseConfig { probability: 1.0, max_delay_us: 50, seed: 2 });
+        let mut seen_nonzero = false;
+        for _ in 0..200 {
+            let d = inj.draw_delay_us();
+            assert!(d <= 50);
+            seen_nonzero |= d > 0;
+        }
+        assert!(seen_nonzero);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = NoiseInjector::new(NoiseConfig::mild(42));
+        let b = NoiseInjector::new(NoiseConfig::mild(42));
+        let da: Vec<u64> = (0..50).map(|_| a.draw_delay_us()).collect();
+        let db: Vec<u64> = (0..50).map(|_| b.draw_delay_us()).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.config(), b.config());
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(NoiseConfig::heavy(1).max_delay_us > NoiseConfig::mild(1).max_delay_us);
+        assert!(NoiseConfig::heavy(1).probability > NoiseConfig::mild(1).probability);
+    }
+}

@@ -1,0 +1,714 @@
+//! Dataflow plan representation.
+//!
+//! A [`Plan`] is a DAG of [`PlanNode`]s, each holding an [`OperatorSpec`] and
+//! the ids of its input nodes. This mirrors the property the paper requires
+//! of a host system: "its plan representation allows identification of
+//! individual expensive operators" (§2). The adaptive parallelizer (crate
+//! `apq-core`) morphs plans by cloning nodes over partitions and rewiring
+//! edges; everything it needs — consumer lookup, node insertion/removal,
+//! per-operator metadata such as which inputs are range-partitionable — lives
+//! here.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::ScalarValue;
+use apq_operators::{AggFunc, BinaryOp, Predicate};
+
+use crate::error::{EngineError, Result};
+
+/// Identifier of a plan node (index into the plan's node table).
+pub type NodeId = usize;
+
+/// Which side of a join result an operator projects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The probe (outer, partitioned) side.
+    Outer,
+    /// The build (inner, shared hash table) side.
+    Inner,
+}
+
+/// How the results of cloned instances of an operator are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinerKind {
+    /// Pack with an exchange-union operator (oids, columns, join pairs).
+    ExchangeUnion,
+    /// Merge partial scalar aggregates and finalize.
+    FinalizeAgg,
+    /// Merge partial grouped aggregates.
+    MergeGrouped,
+    /// The operator cannot be cloned over partitions.
+    NotParallelizable,
+}
+
+/// The physical operator a plan node executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorSpec {
+    /// Zero-copy range slice of a base-table column (leaf).
+    ScanColumn {
+        /// Table name in the catalog.
+        table: String,
+        /// Column name within the table.
+        column: String,
+        /// Row range of the slice (oid range).
+        range: RowRange,
+    },
+    /// Positional slice of an intermediate (column, oid list or join result).
+    ///
+    /// Introduced by plan mutation when the partitionable input of an
+    /// expensive operator is itself an intermediate. The slice is clamped to
+    /// the actual intermediate length at runtime (boundary adjustment of
+    /// paper Fig. 9).
+    SlicePart {
+        /// First row of the slice.
+        start: usize,
+        /// Length of the slice.
+        len: usize,
+    },
+    /// Predicate selection producing a candidate oid list. Optional second
+    /// input: a previous candidate list to refine.
+    Select {
+        /// The predicate to evaluate.
+        predicate: Predicate,
+    },
+    /// Predicate evaluation producing a boolean column (one flag per row).
+    PredMask {
+        /// The predicate to evaluate.
+        predicate: Predicate,
+    },
+    /// `out[i] = cond[i] ? then[i] : otherwise` (MonetDB `batcalc.ifthenelse`).
+    IfThenElse {
+        /// Value used where the condition is false.
+        otherwise: ScalarValue,
+    },
+    /// Tuple reconstruction: fetch values of input-1 at the oids of input-0.
+    Fetch,
+    /// Tuple reconstruction that clamps out-of-slice oids instead of failing.
+    FetchClamped,
+    /// Builds a join hash table over the input key column.
+    HashBuild,
+    /// Probes a hash table (input 1) with an outer key column (input 0).
+    HashProbe,
+    /// Semi-join: outer oids that have at least one match in the hash table.
+    SemiJoin,
+    /// Anti-join: outer oids that have no match in the hash table.
+    AntiJoin,
+    /// Projects one side of a join result as an oid list.
+    ProjectJoinSide {
+        /// Which side to project.
+        side: JoinSide,
+    },
+    /// Re-interprets an integer column as an oid list (MonetDB's use of a
+    /// BAT whose tail holds oids, e.g. a foreign-key column addressing a
+    /// dimension table whose primary key equals the row id).
+    OidsFromColumn,
+    /// Element-wise arithmetic. With `left_scalar` set the expression is
+    /// `scalar <op> input0`; with `right_scalar` set it is `input0 <op>
+    /// scalar`; with neither it is `input0 <op> input1`.
+    Calc {
+        /// The arithmetic operation.
+        op: BinaryOp,
+        /// Optional scalar left operand.
+        left_scalar: Option<ScalarValue>,
+        /// Optional scalar right operand.
+        right_scalar: Option<ScalarValue>,
+    },
+    /// Scalar aggregate over a column, producing a mergeable partial state.
+    ScalarAgg {
+        /// The aggregate function.
+        func: AggFunc,
+    },
+    /// Merges partial scalar aggregates (any number of inputs) and finalizes.
+    FinalizeAgg {
+        /// The aggregate function (must match the partials).
+        func: AggFunc,
+    },
+    /// Single-attribute grouped aggregate: input 0 = keys, input 1 = values.
+    GroupAgg {
+        /// The aggregate function.
+        func: AggFunc,
+    },
+    /// Merges partial grouped aggregates (any number of inputs).
+    MergeGrouped,
+    /// Exchange union: packs same-kind inputs in argument order.
+    ExchangeUnion,
+    /// Arithmetic between two scalar inputs (final result expressions).
+    CalcScalars {
+        /// The arithmetic operation.
+        op: BinaryOp,
+    },
+}
+
+impl OperatorSpec {
+    /// Operator family name, used for plan statistics (paper Table 5 counts
+    /// select and join operators) and for the tomograph-style traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorSpec::ScanColumn { .. } => "scan",
+            OperatorSpec::SlicePart { .. } => "slice",
+            OperatorSpec::Select { .. } => "select",
+            OperatorSpec::PredMask { .. } => "predmask",
+            OperatorSpec::IfThenElse { .. } => "ifthenelse",
+            OperatorSpec::Fetch | OperatorSpec::FetchClamped => "fetch",
+            OperatorSpec::HashBuild => "hashbuild",
+            OperatorSpec::HashProbe => "join",
+            OperatorSpec::SemiJoin => "semijoin",
+            OperatorSpec::AntiJoin => "antijoin",
+            OperatorSpec::ProjectJoinSide { .. } => "projectside",
+            OperatorSpec::OidsFromColumn => "asoids",
+            OperatorSpec::Calc { .. } => "calc",
+            OperatorSpec::ScalarAgg { .. } => "aggregate",
+            OperatorSpec::FinalizeAgg { .. } => "finalizeagg",
+            OperatorSpec::GroupAgg { .. } => "groupby",
+            OperatorSpec::MergeGrouped => "mergegroup",
+            OperatorSpec::ExchangeUnion => "union",
+            OperatorSpec::CalcScalars { .. } => "calcscalar",
+        }
+    }
+
+    /// Valid input arity `(min, max)`.
+    pub fn arity(&self) -> (usize, usize) {
+        match self {
+            OperatorSpec::ScanColumn { .. } => (0, 0),
+            OperatorSpec::SlicePart { .. }
+            | OperatorSpec::PredMask { .. }
+            | OperatorSpec::HashBuild
+            | OperatorSpec::ProjectJoinSide { .. }
+            | OperatorSpec::OidsFromColumn
+            | OperatorSpec::ScalarAgg { .. } => (1, 1),
+            OperatorSpec::Select { .. } | OperatorSpec::Calc { .. } => (1, 2),
+            OperatorSpec::IfThenElse { .. }
+            | OperatorSpec::Fetch
+            | OperatorSpec::FetchClamped
+            | OperatorSpec::HashProbe
+            | OperatorSpec::SemiJoin
+            | OperatorSpec::AntiJoin
+            | OperatorSpec::GroupAgg { .. }
+            | OperatorSpec::CalcScalars { .. } => (2, 2),
+            OperatorSpec::FinalizeAgg { .. }
+            | OperatorSpec::MergeGrouped
+            | OperatorSpec::ExchangeUnion => (1, usize::MAX),
+        }
+    }
+
+    /// Which of the node's inputs are *range partitionable together*
+    /// (aligned): when the operator is cloned over a partition, every aligned
+    /// input is sliced to the same row range while the others (hash tables,
+    /// full columns being fetched into, candidate lists) are shared.
+    pub fn aligned_inputs(&self, n_inputs: usize) -> Vec<bool> {
+        let pattern: &[bool] = match self {
+            OperatorSpec::Select { .. } => &[true, false],
+            OperatorSpec::PredMask { .. }
+            | OperatorSpec::HashBuild
+            | OperatorSpec::ProjectJoinSide { .. }
+            | OperatorSpec::OidsFromColumn
+            | OperatorSpec::ScalarAgg { .. }
+            | OperatorSpec::SlicePart { .. } => &[true],
+            OperatorSpec::IfThenElse { .. }
+            | OperatorSpec::Calc { .. }
+            | OperatorSpec::GroupAgg { .. } => &[true, true],
+            OperatorSpec::Fetch
+            | OperatorSpec::FetchClamped
+            | OperatorSpec::HashProbe
+            | OperatorSpec::SemiJoin
+            | OperatorSpec::AntiJoin => &[true, false],
+            OperatorSpec::ExchangeUnion => return vec![true; n_inputs],
+            OperatorSpec::ScanColumn { .. }
+            | OperatorSpec::FinalizeAgg { .. }
+            | OperatorSpec::MergeGrouped
+            | OperatorSpec::CalcScalars { .. } => return vec![false; n_inputs],
+        };
+        (0..n_inputs).map(|i| pattern.get(i).copied().unwrap_or(false)).collect()
+    }
+
+    /// How clones of this operator are recombined; also encodes whether the
+    /// operator is a candidate for parallelization at all.
+    pub fn combiner(&self) -> CombinerKind {
+        match self {
+            OperatorSpec::Select { .. }
+            | OperatorSpec::PredMask { .. }
+            | OperatorSpec::IfThenElse { .. }
+            | OperatorSpec::Fetch
+            | OperatorSpec::FetchClamped
+            | OperatorSpec::HashProbe
+            | OperatorSpec::SemiJoin
+            | OperatorSpec::AntiJoin
+            | OperatorSpec::ProjectJoinSide { .. }
+            | OperatorSpec::OidsFromColumn
+            | OperatorSpec::Calc { .. } => CombinerKind::ExchangeUnion,
+            OperatorSpec::ScalarAgg { .. } => CombinerKind::FinalizeAgg,
+            OperatorSpec::GroupAgg { .. } => CombinerKind::MergeGrouped,
+            OperatorSpec::ScanColumn { .. }
+            | OperatorSpec::SlicePart { .. }
+            | OperatorSpec::HashBuild
+            | OperatorSpec::FinalizeAgg { .. }
+            | OperatorSpec::MergeGrouped
+            | OperatorSpec::ExchangeUnion
+            | OperatorSpec::CalcScalars { .. } => CombinerKind::NotParallelizable,
+        }
+    }
+
+    /// True when the operator can be cloned over range partitions by the
+    /// basic or advanced mutation (the exchange-union is handled separately
+    /// by the medium mutation).
+    pub fn is_parallelizable(&self) -> bool {
+        self.combiner() != CombinerKind::NotParallelizable
+    }
+
+    /// Compact parameter description for plan pretty-printing.
+    pub fn describe(&self) -> String {
+        match self {
+            OperatorSpec::ScanColumn { table, column, range } => {
+                format!("{table}.{column}[{}, {})", range.start, range.end)
+            }
+            OperatorSpec::SlicePart { start, len } => format!("[{start}, {})", start + len),
+            OperatorSpec::Select { predicate } | OperatorSpec::PredMask { predicate } => {
+                predicate.describe()
+            }
+            OperatorSpec::IfThenElse { otherwise } => format!("else {otherwise}"),
+            OperatorSpec::ProjectJoinSide { side } => format!("{side:?}"),
+            OperatorSpec::Calc { op, left_scalar, right_scalar } => match (left_scalar, right_scalar) {
+                (Some(s), None) => format!("{s} {} col", op.symbol()),
+                (None, Some(s)) => format!("col {} {s}", op.symbol()),
+                _ => format!("col {} col", op.symbol()),
+            },
+            OperatorSpec::ScalarAgg { func }
+            | OperatorSpec::FinalizeAgg { func }
+            | OperatorSpec::GroupAgg { func } => func.name().to_string(),
+            OperatorSpec::CalcScalars { op } => op.symbol().to_string(),
+            _ => String::new(),
+        }
+    }
+}
+
+/// One node of the plan DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operator this node executes.
+    pub spec: OperatorSpec,
+    /// Ids of the producer nodes whose outputs feed this node, in order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A dataflow plan: a DAG of operator nodes with a single result node.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    nodes: Vec<Option<PlanNode>>,
+    root: Option<NodeId>,
+}
+
+impl Plan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add(&mut self, spec: OperatorSpec, inputs: Vec<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Some(PlanNode { spec, inputs }));
+        id
+    }
+
+    /// Marks `id` as the plan's result node.
+    pub fn set_root(&mut self, id: NodeId) {
+        self.root = Some(id);
+    }
+
+    /// The plan's result node.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Total slots in the node table (including removed nodes).
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live nodes — the paper's "number of MAL instructions".
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Immutable access to a live node.
+    pub fn node(&self, id: NodeId) -> Result<&PlanNode> {
+        self.nodes
+            .get(id)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| EngineError::InvalidPlan(format!("node {id} does not exist")))
+    }
+
+    /// Mutable access to a live node.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut PlanNode> {
+        self.nodes
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| EngineError::InvalidPlan(format!("node {id} does not exist")))
+    }
+
+    /// True when the node id refers to a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.get(id).map_or(false, Option::is_some)
+    }
+
+    /// Removes a node (its consumers must have been rewired first).
+    pub fn remove(&mut self, id: NodeId) -> Result<()> {
+        if !self.contains(id) {
+            return Err(EngineError::InvalidPlan(format!("cannot remove missing node {id}")));
+        }
+        self.nodes[id] = None;
+        Ok(())
+    }
+
+    /// Ids of all live nodes, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Ids of the live nodes that consume `id`'s output, ascending.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.as_ref().and_then(|node| node.inputs.contains(&id).then_some(i))
+            })
+            .collect()
+    }
+
+    /// Replaces every occurrence of `old` in `node`'s input list with `new`.
+    pub fn replace_input(&mut self, node: NodeId, old: NodeId, new: NodeId) -> Result<()> {
+        let n = self.node_mut(node)?;
+        for input in n.inputs.iter_mut() {
+            if *input == old {
+                *input = new;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the single occurrence of `old` in `node`'s inputs with the
+    /// sequence `new` (used when a union input is replaced by two clones).
+    pub fn splice_input(&mut self, node: NodeId, old: NodeId, new: &[NodeId]) -> Result<()> {
+        let n = self.node_mut(node)?;
+        let pos = n.inputs.iter().position(|&i| i == old).ok_or_else(|| {
+            EngineError::InvalidPlan(format!("node {node} does not consume node {old}"))
+        })?;
+        n.inputs.splice(pos..=pos, new.iter().copied());
+        Ok(())
+    }
+
+    /// Counts live operators per family name (e.g. `select`, `join`, `union`).
+    pub fn count_by_name(&self) -> HashMap<&'static str, usize> {
+        let mut out = HashMap::new();
+        for id in self.node_ids() {
+            *out.entry(self.node(id).expect("live").spec.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of live operators of one family.
+    pub fn count_of(&self, name: &str) -> usize {
+        self.count_by_name().get(name).copied().unwrap_or(0)
+    }
+
+    /// Topological order of the live nodes (producers before consumers).
+    pub fn topo_order(&self) -> Result<Vec<NodeId>> {
+        let ids = self.node_ids();
+        let mut in_deg: HashMap<NodeId, usize> = ids.iter().map(|&i| (i, 0)).collect();
+        for &id in &ids {
+            for &input in &self.node(id)?.inputs {
+                if !self.contains(input) {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "node {id} references missing node {input}"
+                    )));
+                }
+                *in_deg.get_mut(&id).expect("present") += 1;
+            }
+        }
+        let mut ready: Vec<NodeId> = ids.iter().copied().filter(|i| in_deg[i] == 0).collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(ids.len());
+        let mut queue = std::collections::VecDeque::from(ready);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for consumer in self.consumers(id) {
+                let d = in_deg.get_mut(&consumer).expect("present");
+                // A consumer may list the same producer several times.
+                let times = self
+                    .node(consumer)?
+                    .inputs
+                    .iter()
+                    .filter(|&&i| i == id)
+                    .count();
+                *d -= times;
+                if *d == 0 {
+                    queue.push_back(consumer);
+                }
+            }
+        }
+        if order.len() != ids.len() {
+            return Err(EngineError::InvalidPlan("plan contains a cycle".to_string()));
+        }
+        Ok(order)
+    }
+
+    /// Structural validation: root set and live, inputs live, arities valid,
+    /// DAG acyclic.
+    pub fn validate(&self) -> Result<()> {
+        let root = self
+            .root
+            .ok_or_else(|| EngineError::InvalidPlan("plan has no root".to_string()))?;
+        if !self.contains(root) {
+            return Err(EngineError::InvalidPlan(format!("root {root} is not a live node")));
+        }
+        for id in self.node_ids() {
+            let node = self.node(id)?;
+            let (min, max) = node.spec.arity();
+            if node.inputs.len() < min || node.inputs.len() > max {
+                return Err(EngineError::InvalidPlan(format!(
+                    "node {id} ({}) has {} inputs, expected between {min} and {}",
+                    node.spec.name(),
+                    node.inputs.len(),
+                    if max == usize::MAX { "unbounded".to_string() } else { max.to_string() }
+                )));
+            }
+            for &input in &node.inputs {
+                if !self.contains(input) {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "node {id} references missing node {input}"
+                    )));
+                }
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Graphviz DOT rendering of the plan DAG.
+    ///
+    /// The paper's companion tool Stethoscope visualizes MAL plans as data
+    /// flow graphs (its Fig. 7); this produces the equivalent picture for the
+    /// plans built and mutated here (`dot -Tsvg plan.dot -o plan.svg`).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for id in self.node_ids() {
+            let node = self.node(id).expect("live");
+            let fill = match node.spec.name() {
+                "select" | "predmask" => "#cde7cd",
+                "join" | "semijoin" | "antijoin" | "hashbuild" => "#cdd5e7",
+                "union" => "#e7d9cd",
+                "aggregate" | "groupby" | "finalizeagg" | "mergegroup" => "#e7e3cd",
+                _ => "#f2f2f2",
+            };
+            let peripheries = if self.root == Some(id) { 2 } else { 1 };
+            let _ = writeln!(
+                out,
+                "  n{id} [label=\"[{id}] {}\\n{}\", style=filled, fillcolor=\"{fill}\", peripheries={peripheries}];",
+                node.spec.name(),
+                node.spec.describe().replace('"', "'"),
+            );
+        }
+        for id in self.node_ids() {
+            for &input in &self.node(id).expect("live").inputs {
+                let _ = writeln!(out, "  n{input} -> n{id};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Human-readable plan dump (one line per node, topological order).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => self.node_ids(),
+        };
+        for id in order {
+            let node = self.node(id).expect("live");
+            let marker = if Some(id) == self.root { "*" } else { " " };
+            let _ = writeln!(
+                out,
+                "{marker}[{id:>3}] {:<12} {:<28} <- {:?}",
+                node.spec.name(),
+                node.spec.describe(),
+                node.inputs
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_operators::CmpOp;
+
+    fn scan(table: &str, column: &str, rows: usize) -> OperatorSpec {
+        OperatorSpec::ScanColumn {
+            table: table.into(),
+            column: column.into(),
+            range: RowRange::new(0, rows),
+        }
+    }
+
+    fn tiny_plan() -> Plan {
+        // scan -> select -> (fetch from another scan) -> sum -> finalize
+        let mut p = Plan::new();
+        let s0 = p.add(scan("t", "a", 100), vec![]);
+        let sel = p.add(
+            OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) },
+            vec![s0],
+        );
+        let s1 = p.add(scan("t", "b", 100), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, s1]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let p = tiny_plan();
+        assert_eq!(p.node_count(), 6);
+        p.validate().unwrap();
+        assert_eq!(p.root(), Some(5));
+        assert!(p.contains(0));
+        assert!(!p.contains(99));
+    }
+
+    #[test]
+    fn consumers_and_rewiring() {
+        let mut p = tiny_plan();
+        assert_eq!(p.consumers(1), vec![3]); // select feeds fetch
+        assert_eq!(p.consumers(5), Vec::<NodeId>::new());
+        // Replace the fetch's oid input with a new select.
+        let s0 = 0;
+        let sel2 = p.add(
+            OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 5i64) },
+            vec![s0],
+        );
+        p.replace_input(3, 1, sel2).unwrap();
+        assert_eq!(p.consumers(sel2), vec![3]);
+        assert!(p.consumers(1).is_empty());
+        p.remove(1).unwrap();
+        p.validate().unwrap();
+        assert!(p.remove(1).is_err());
+    }
+
+    #[test]
+    fn splice_input_expands_unions() {
+        let mut p = Plan::new();
+        let a = p.add(scan("t", "a", 10), vec![]);
+        let s1 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s2 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let u = p.add(OperatorSpec::ExchangeUnion, vec![s1, s2]);
+        p.set_root(u);
+        let s3 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s4 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        p.splice_input(u, s2, &[s3, s4]).unwrap();
+        assert_eq!(p.node(u).unwrap().inputs, vec![s1, s3, s4]);
+        assert!(p.splice_input(u, 999, &[s1]).is_err());
+    }
+
+    #[test]
+    fn topo_order_and_cycles() {
+        let p = tiny_plan();
+        let order = p.topo_order().unwrap();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in p.node_ids() {
+            for &input in &p.node(id).unwrap().inputs {
+                assert!(pos[&input] < pos[&id], "{input} must precede {id}");
+            }
+        }
+        // Introduce a cycle.
+        let mut bad = p.clone();
+        bad.node_mut(0).unwrap().inputs.push(5);
+        assert!(bad.topo_order().is_err());
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_arity_and_missing_root() {
+        let mut p = Plan::new();
+        let a = p.add(scan("t", "a", 10), vec![]);
+        // No root set.
+        assert!(p.validate().is_err());
+        // Fetch with a single input violates arity.
+        let f = p.add(OperatorSpec::Fetch, vec![a]);
+        p.set_root(f);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn operator_metadata() {
+        let sel = OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 1i64) };
+        assert_eq!(sel.name(), "select");
+        assert!(sel.is_parallelizable());
+        assert_eq!(sel.combiner(), CombinerKind::ExchangeUnion);
+        assert_eq!(sel.aligned_inputs(2), vec![true, false]);
+
+        let agg = OperatorSpec::ScalarAgg { func: AggFunc::Sum };
+        assert_eq!(agg.combiner(), CombinerKind::FinalizeAgg);
+        let group = OperatorSpec::GroupAgg { func: AggFunc::Sum };
+        assert_eq!(group.combiner(), CombinerKind::MergeGrouped);
+        assert_eq!(group.aligned_inputs(2), vec![true, true]);
+
+        let union = OperatorSpec::ExchangeUnion;
+        assert!(!union.is_parallelizable());
+        assert_eq!(union.aligned_inputs(4), vec![true; 4]);
+        assert_eq!(union.arity(), (1, usize::MAX));
+
+        let scanop = scan("t", "a", 5);
+        assert!(!scanop.is_parallelizable());
+        assert_eq!(scanop.arity(), (0, 0));
+        assert!(scanop.describe().contains("t.a"));
+
+        let probe = OperatorSpec::HashProbe;
+        assert_eq!(probe.name(), "join");
+        assert_eq!(probe.aligned_inputs(2), vec![true, false]);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let p = tiny_plan();
+        let dot = p.to_dot("q");
+        assert!(dot.starts_with("digraph \"q\""));
+        assert!(dot.ends_with("}\n"));
+        // One node statement per live node, one edge per input reference.
+        let nodes = dot.lines().filter(|l| l.contains("label=")).count();
+        assert_eq!(nodes, p.node_count());
+        let edges = dot.lines().filter(|l| l.contains(" -> ")).count();
+        let inputs: usize = p.node_ids().iter().map(|&id| p.node(id).unwrap().inputs.len()).sum();
+        assert_eq!(edges, inputs);
+        // The root is highlighted with a double border.
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("select"));
+    }
+
+    #[test]
+    fn counting_and_pretty() {
+        let p = tiny_plan();
+        let counts = p.count_by_name();
+        assert_eq!(counts.get("scan"), Some(&2));
+        assert_eq!(counts.get("select"), Some(&1));
+        assert_eq!(p.count_of("fetch"), 1);
+        assert_eq!(p.count_of("join"), 0);
+        let dump = p.pretty();
+        assert!(dump.contains("select"));
+        assert!(dump.contains('*')); // root marker
+        assert!(dump.lines().count() >= 6);
+    }
+}

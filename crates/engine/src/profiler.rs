@@ -1,0 +1,263 @@
+//! Execution profiling.
+//!
+//! The paper's run-time environment includes "a profiler [that] gathers
+//! performance data on an executed operator basis ... the profiled data
+//! consists of operator's execution time, memory claims, and thread
+//! affiliation id" (§2). Adaptive parallelization is driven purely by this
+//! feedback, and the multi-core-utilization analysis (Figs. 19/20, Table 5)
+//! is read straight off it, so the profile captures:
+//!
+//! * per operator: start offset, duration, executing worker, output rows and
+//!   bytes (memory claim);
+//! * per query: wall-clock time, worker-pool size, and the derived metrics
+//!   *parallelism usage* (aggregate busy time / (wall time × workers)) and
+//!   *multi-core utilization* (distinct workers used / workers available).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::plan::NodeId;
+
+/// Profile of one executed operator.
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Plan node id.
+    pub node: NodeId,
+    /// Operator family name (`select`, `join`, `union`, ...).
+    pub name: &'static str,
+    /// Start of execution, microseconds since the query started.
+    pub start_us: u64,
+    /// Execution time in microseconds.
+    pub duration_us: u64,
+    /// Index of the worker thread that executed the operator.
+    pub worker: usize,
+    /// Rows in the operator's output chunk.
+    pub rows_out: usize,
+    /// Approximate bytes of the operator's output chunk (memory claim).
+    pub bytes_out: usize,
+}
+
+/// Profile of one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// End-to-end wall-clock time of the query.
+    pub wall_time: Duration,
+    /// Size of the worker pool that executed the query.
+    pub n_workers: usize,
+    /// Per-operator profiles (every executed node appears exactly once).
+    pub operators: Vec<OperatorProfile>,
+}
+
+impl QueryProfile {
+    /// Wall-clock time in microseconds.
+    pub fn wall_us(&self) -> u64 {
+        self.wall_time.as_micros() as u64
+    }
+
+    /// Sum of all operator execution times ("total CPU core time").
+    pub fn total_cpu_us(&self) -> u64 {
+        self.operators.iter().map(|o| o.duration_us).sum()
+    }
+
+    /// Parallelism usage: aggregate operator busy time divided by
+    /// `wall time × workers`. This is the "parallelism usage" percentage the
+    /// paper's tomograph prints under Figs. 19/20.
+    pub fn parallelism_usage(&self) -> f64 {
+        let denom = self.wall_us().max(1) * self.n_workers.max(1) as u64;
+        (self.total_cpu_us() as f64 / denom as f64).min(1.0)
+    }
+
+    /// Number of distinct worker threads that executed at least one operator.
+    pub fn workers_used(&self) -> usize {
+        let mut seen: Vec<usize> = self.operators.iter().map(|o| o.worker).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Multi-core utilization: fraction of the available cores (workers) that
+    /// were used at all during the query (paper §4.2.5).
+    pub fn multi_core_utilization(&self) -> f64 {
+        if self.n_workers == 0 {
+            return 0.0;
+        }
+        self.workers_used() as f64 / self.n_workers as f64
+    }
+
+    /// Profile of a specific plan node.
+    pub fn operator(&self, node: NodeId) -> Option<&OperatorProfile> {
+        self.operators.iter().find(|o| o.node == node)
+    }
+
+    /// The most expensive operator overall (by execution time).
+    pub fn most_expensive(&self) -> Option<&OperatorProfile> {
+        self.operators.iter().max_by_key(|o| o.duration_us)
+    }
+
+    /// Number of executed operators per family.
+    pub fn count_by_name(&self) -> HashMap<&'static str, usize> {
+        let mut out = HashMap::new();
+        for op in &self.operators {
+            *out.entry(op.name).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Total execution time per operator family, in microseconds.
+    pub fn time_by_name(&self) -> HashMap<&'static str, u64> {
+        let mut out = HashMap::new();
+        for op in &self.operators {
+            *out.entry(op.name).or_insert(0) += op.duration_us;
+        }
+        out
+    }
+
+    /// Exports the per-operator profile as CSV (header plus one line per
+    /// executed operator) for offline analysis or plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("node,operator,worker,start_us,duration_us,rows_out,bytes_out\n");
+        for op in &self.operators {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                op.node, op.name, op.worker, op.start_us, op.duration_us, op.rows_out, op.bytes_out
+            );
+        }
+        out
+    }
+
+    /// Tomograph-style ASCII timeline: one lane per worker, time flowing to
+    /// the right, each cell showing the operator family that was running
+    /// (`S`elect, `J`oin, `U`nion, `F`etch, `C`alc, `A`ggregate, `.` idle).
+    /// This is the textual analogue of the paper's Figs. 19/20.
+    pub fn timeline(&self, width: usize) -> String {
+        let width = width.max(10);
+        let wall = self.wall_us().max(1);
+        let mut lanes = vec![vec!['.'; width]; self.n_workers];
+        for op in &self.operators {
+            if op.worker >= lanes.len() {
+                continue;
+            }
+            let from = (op.start_us * width as u64 / wall) as usize;
+            let to = (((op.start_us + op.duration_us) * width as u64).div_ceil(wall) as usize)
+                .min(width)
+                .max(from + 1);
+            let c = family_char(op.name);
+            for cell in &mut lanes[op.worker][from..to.min(width)] {
+                *cell = c;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} operators, wall {:.3} ms, cpu {:.3} ms, parallelism usage {:.1}%, {} of {} workers used",
+            self.operators.len(),
+            self.wall_us() as f64 / 1000.0,
+            self.total_cpu_us() as f64 / 1000.0,
+            self.parallelism_usage() * 100.0,
+            self.workers_used(),
+            self.n_workers,
+        );
+        for (i, lane) in lanes.iter().enumerate() {
+            let _ = writeln!(out, "worker {i:>3} |{}|", lane.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+fn family_char(name: &str) -> char {
+    match name {
+        "select" | "predmask" => 'S',
+        "join" | "semijoin" | "antijoin" | "hashbuild" => 'J',
+        "union" => 'U',
+        "fetch" | "projectside" => 'F',
+        "calc" | "ifthenelse" | "calcscalar" => 'C',
+        "aggregate" | "groupby" | "finalizeagg" | "mergegroup" => 'A',
+        "scan" | "slice" => 's',
+        _ => 'o',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(node: NodeId, name: &'static str, start: u64, dur: u64, worker: usize) -> OperatorProfile {
+        OperatorProfile { node, name, start_us: start, duration_us: dur, worker, rows_out: 1, bytes_out: 8 }
+    }
+
+    fn sample() -> QueryProfile {
+        QueryProfile {
+            wall_time: Duration::from_micros(1000),
+            n_workers: 4,
+            operators: vec![
+                op(0, "scan", 0, 50, 0),
+                op(1, "select", 50, 400, 0),
+                op(2, "select", 50, 300, 1),
+                op(3, "union", 500, 100, 1),
+                op(4, "aggregate", 650, 200, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let p = sample();
+        assert_eq!(p.wall_us(), 1000);
+        assert_eq!(p.total_cpu_us(), 1050);
+        assert!((p.parallelism_usage() - 1050.0 / 4000.0).abs() < 1e-9);
+        assert_eq!(p.workers_used(), 2);
+        assert!((p.multi_core_utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(p.most_expensive().unwrap().node, 1);
+        assert_eq!(p.operator(3).unwrap().name, "union");
+        assert!(p.operator(99).is_none());
+    }
+
+    #[test]
+    fn per_family_breakdown() {
+        let p = sample();
+        let counts = p.count_by_name();
+        assert_eq!(counts["select"], 2);
+        assert_eq!(counts["union"], 1);
+        let times = p.time_by_name();
+        assert_eq!(times["select"], 700);
+        assert_eq!(times["aggregate"], 200);
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let p = sample();
+        let t = p.timeline(40);
+        assert_eq!(t.lines().count(), 5); // header + 4 workers
+        assert!(t.contains("parallelism usage"));
+        assert!(t.contains('S'));
+        assert!(t.contains('A'));
+        // Workers 2 and 3 never ran anything: fully idle lanes exist.
+        assert!(t.lines().any(|l| l.contains('|') && !l.contains('S') && l.contains("....")));
+        // Tiny width is clamped.
+        let tiny = p.timeline(1);
+        assert!(tiny.contains("worker"));
+    }
+
+    #[test]
+    fn csv_export_has_one_line_per_operator() {
+        let p = sample();
+        let csv = p.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + p.operators.len());
+        assert!(lines[0].starts_with("node,operator,worker"));
+        assert!(lines[1].contains("scan"));
+        assert!(lines.iter().any(|l| l.contains("union")));
+    }
+
+    #[test]
+    fn degenerate_profiles() {
+        let p = QueryProfile { wall_time: Duration::ZERO, n_workers: 0, operators: vec![] };
+        assert_eq!(p.total_cpu_us(), 0);
+        assert_eq!(p.workers_used(), 0);
+        assert_eq!(p.multi_core_utilization(), 0.0);
+        assert!(p.most_expensive().is_none());
+        assert!(p.parallelism_usage() <= 1.0);
+    }
+}

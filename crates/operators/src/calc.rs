@@ -1,0 +1,289 @@
+//! Vectorized arithmetic (`batcalc.*` in the paper's plans).
+//!
+//! TPC-H expressions such as `l_extendedprice * (1 - l_discount)` (Q6, Q14,
+//! Q19) are evaluated by element-wise operations over columns and scalars.
+//! Integer columns use fixed-point(2) decimal semantics: multiplication of
+//! two fixed-point(2) values is rescaled back to fixed-point(2) by the
+//! workload layer (the operator itself is plain integer arithmetic, exactly
+//! like MonetDB's `batcalc.*` on `lng` decimals).
+
+use apq_columnar::{Column, DataType, ScalarValue};
+
+use crate::error::{OperatorError, Result};
+
+/// Element-wise binary operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (errors on a zero divisor).
+    Div,
+}
+
+impl BinaryOp {
+    fn apply_i64(self, a: i64, b: i64) -> Result<i64> {
+        Ok(match self {
+            BinaryOp::Add => a.wrapping_add(b),
+            BinaryOp::Sub => a.wrapping_sub(b),
+            BinaryOp::Mul => a.wrapping_mul(b),
+            BinaryOp::Div => {
+                if b == 0 {
+                    return Err(OperatorError::DivisionByZero);
+                }
+                a / b
+            }
+        })
+    }
+
+    fn apply_f64(self, a: f64, b: f64) -> Result<f64> {
+        Ok(match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => {
+                if b == 0.0 {
+                    return Err(OperatorError::DivisionByZero);
+                }
+                a / b
+            }
+        })
+    }
+
+    /// Short symbol for plan pretty-printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+}
+
+fn numeric_error(left: DataType, right: DataType) -> OperatorError {
+    OperatorError::InvalidCalc(format!(
+        "calc requires numeric inputs of matching class, got {left} and {right}"
+    ))
+}
+
+/// `out[i] = left[i] <op> right[i]` for two equally long numeric columns.
+///
+/// Both `Int64` (fixed-point) and `Float64` columns are supported; the two
+/// inputs must belong to the same numeric class. `Int32` inputs are widened
+/// to `Int64`.
+pub fn calc_col_col(op: BinaryOp, left: &Column, right: &Column) -> Result<Column> {
+    if left.len() != right.len() {
+        return Err(OperatorError::LengthMismatch { left: left.len(), right: right.len() });
+    }
+    match (left.data_type(), right.data_type()) {
+        (DataType::Float64, DataType::Float64) => {
+            let l = left.f64_values()?;
+            let r = right.f64_values()?;
+            let mut out = Vec::with_capacity(l.len());
+            for (a, b) in l.iter().zip(r) {
+                out.push(op.apply_f64(*a, *b)?);
+            }
+            Ok(Column::from_f64(out))
+        }
+        (lt, rt) if is_int(lt) && is_int(rt) => {
+            let l = widened_i64(left)?;
+            let r = widened_i64(right)?;
+            let mut out = Vec::with_capacity(l.len());
+            for (a, b) in l.iter().zip(r.iter()) {
+                out.push(op.apply_i64(*a, *b)?);
+            }
+            Ok(Column::from_i64(out))
+        }
+        (lt, rt) => Err(numeric_error(lt, rt)),
+    }
+}
+
+/// `out[i] = left[i] <op> scalar`.
+pub fn calc_col_scalar(op: BinaryOp, left: &Column, scalar: &ScalarValue) -> Result<Column> {
+    match left.data_type() {
+        DataType::Float64 => {
+            let rhs = scalar
+                .as_f64()
+                .ok_or_else(|| numeric_error(DataType::Float64, scalar.data_type()))?;
+            let l = left.f64_values()?;
+            let mut out = Vec::with_capacity(l.len());
+            for a in l {
+                out.push(op.apply_f64(*a, rhs)?);
+            }
+            Ok(Column::from_f64(out))
+        }
+        lt if is_int(lt) => {
+            let rhs = scalar
+                .as_i64()
+                .ok_or_else(|| numeric_error(lt, scalar.data_type()))?;
+            let l = widened_i64(left)?;
+            let mut out = Vec::with_capacity(l.len());
+            for a in l.iter() {
+                out.push(op.apply_i64(*a, rhs)?);
+            }
+            Ok(Column::from_i64(out))
+        }
+        lt => Err(numeric_error(lt, scalar.data_type())),
+    }
+}
+
+/// `out[i] = scalar <op> right[i]` (needed for `1 - l_discount` style expressions).
+pub fn calc_scalar_col(op: BinaryOp, scalar: &ScalarValue, right: &Column) -> Result<Column> {
+    match right.data_type() {
+        DataType::Float64 => {
+            let lhs = scalar
+                .as_f64()
+                .ok_or_else(|| numeric_error(scalar.data_type(), DataType::Float64))?;
+            let r = right.f64_values()?;
+            let mut out = Vec::with_capacity(r.len());
+            for b in r {
+                out.push(op.apply_f64(lhs, *b)?);
+            }
+            Ok(Column::from_f64(out))
+        }
+        rt if is_int(rt) => {
+            let lhs = scalar
+                .as_i64()
+                .ok_or_else(|| numeric_error(scalar.data_type(), rt))?;
+            let r = widened_i64(right)?;
+            let mut out = Vec::with_capacity(r.len());
+            for b in r.iter() {
+                out.push(op.apply_i64(lhs, *b)?);
+            }
+            Ok(Column::from_i64(out))
+        }
+        rt => Err(numeric_error(scalar.data_type(), rt)),
+    }
+}
+
+fn is_int(t: DataType) -> bool {
+    matches!(t, DataType::Int64 | DataType::Int32)
+}
+
+/// Widens an integer column's visible values to `i64`, borrowing when the
+/// column is already `Int64`.
+fn widened_i64(col: &Column) -> Result<std::borrow::Cow<'_, [i64]>> {
+    match col.data_type() {
+        DataType::Int64 => Ok(std::borrow::Cow::Borrowed(col.i64_values()?)),
+        DataType::Int32 => Ok(std::borrow::Cow::Owned(
+            col.i32_values()?.iter().map(|&v| v as i64).collect(),
+        )),
+        other => Err(numeric_error(other, other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_col_int() {
+        let a = Column::from_i64(vec![10, 20, 30]);
+        let b = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(
+            calc_col_col(BinaryOp::Add, &a, &b).unwrap().i64_values().unwrap(),
+            &[11, 22, 33]
+        );
+        assert_eq!(
+            calc_col_col(BinaryOp::Sub, &a, &b).unwrap().i64_values().unwrap(),
+            &[9, 18, 27]
+        );
+        assert_eq!(
+            calc_col_col(BinaryOp::Mul, &a, &b).unwrap().i64_values().unwrap(),
+            &[10, 40, 90]
+        );
+        assert_eq!(
+            calc_col_col(BinaryOp::Div, &a, &b).unwrap().i64_values().unwrap(),
+            &[10, 10, 10]
+        );
+    }
+
+    #[test]
+    fn col_col_float_and_mixed_int() {
+        let a = Column::from_f64(vec![1.5, 2.5]);
+        let b = Column::from_f64(vec![0.5, 0.5]);
+        assert_eq!(
+            calc_col_col(BinaryOp::Mul, &a, &b).unwrap().f64_values().unwrap(),
+            &[0.75, 1.25]
+        );
+        let a = Column::from_i32(vec![1, 2]);
+        let b = Column::from_i64(vec![10, 20]);
+        assert_eq!(
+            calc_col_col(BinaryOp::Add, &a, &b).unwrap().i64_values().unwrap(),
+            &[11, 22]
+        );
+    }
+
+    #[test]
+    fn scalar_variants() {
+        let a = Column::from_i64(vec![100, 200]);
+        assert_eq!(
+            calc_col_scalar(BinaryOp::Div, &a, &ScalarValue::I64(10))
+                .unwrap()
+                .i64_values()
+                .unwrap(),
+            &[10, 20]
+        );
+        assert_eq!(
+            calc_scalar_col(BinaryOp::Sub, &ScalarValue::I64(100), &a)
+                .unwrap()
+                .i64_values()
+                .unwrap(),
+            &[0, -100]
+        );
+        let f = Column::from_f64(vec![0.1, 0.2]);
+        assert_eq!(
+            calc_scalar_col(BinaryOp::Sub, &ScalarValue::F64(1.0), &f)
+                .unwrap()
+                .f64_values()
+                .unwrap(),
+            &[0.9, 0.8]
+        );
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_i64(vec![0]);
+        assert_eq!(
+            calc_col_col(BinaryOp::Div, &a, &b).unwrap_err(),
+            OperatorError::DivisionByZero
+        );
+        let f = Column::from_f64(vec![1.0]);
+        assert_eq!(
+            calc_col_scalar(BinaryOp::Div, &f, &ScalarValue::F64(0.0)).unwrap_err(),
+            OperatorError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_i64(vec![1]);
+        assert!(matches!(
+            calc_col_col(BinaryOp::Add, &a, &b).unwrap_err(),
+            OperatorError::LengthMismatch { .. }
+        ));
+        let s = Column::from_strings(["x", "y"]);
+        assert!(calc_col_col(BinaryOp::Add, &a, &s).is_err());
+        assert!(calc_col_scalar(BinaryOp::Add, &s, &ScalarValue::I64(1)).is_err());
+        assert!(calc_col_scalar(BinaryOp::Add, &a, &ScalarValue::Str("x".into())).is_err());
+        assert!(calc_scalar_col(BinaryOp::Add, &ScalarValue::I64(1), &s).is_err());
+    }
+
+    #[test]
+    fn fixed_point_revenue_expression() {
+        // revenue = extendedprice * (1 - discount), prices fixed-point(2),
+        // discount fixed-point(2) as well: (100 - disc) then rescale by /100.
+        let price = Column::from_i64(vec![10_00, 20_00]); // 10.00, 20.00
+        let disc = Column::from_i64(vec![10, 25]); // 0.10, 0.25
+        let one_minus = calc_scalar_col(BinaryOp::Sub, &ScalarValue::I64(100), &disc).unwrap();
+        let raw = calc_col_col(BinaryOp::Mul, &price, &one_minus).unwrap();
+        let revenue = calc_col_scalar(BinaryOp::Div, &raw, &ScalarValue::I64(100)).unwrap();
+        assert_eq!(revenue.i64_values().unwrap(), &[9_00, 15_00]);
+    }
+}

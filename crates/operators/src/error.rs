@@ -1,0 +1,99 @@
+//! Error type for the operator layer.
+
+use std::fmt;
+
+use apq_columnar::ColumnarError;
+
+/// Convenience alias used throughout the operators crate.
+pub type Result<T> = std::result::Result<T, OperatorError>;
+
+/// Errors raised while evaluating a physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorError {
+    /// An error bubbled up from the storage layer.
+    Columnar(ColumnarError),
+    /// The predicate cannot be applied to the column's type.
+    PredicateTypeMismatch {
+        /// Type of the column being filtered.
+        column_type: &'static str,
+        /// Description of the predicate.
+        predicate: String,
+    },
+    /// An arithmetic operator received incompatible inputs.
+    InvalidCalc(String),
+    /// The operator received inputs of mismatching lengths.
+    LengthMismatch {
+        /// Length of the left input.
+        left: usize,
+        /// Length of the right input.
+        right: usize,
+    },
+    /// An aggregate was asked to combine incompatible partial states.
+    IncompatibleAggregates(String),
+    /// The join received a key column of an unsupported type.
+    UnsupportedJoinKey(&'static str),
+    /// Division by zero during `calc` evaluation.
+    DivisionByZero,
+    /// An operator that requires at least one input got none.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for OperatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorError::Columnar(e) => write!(f, "storage error: {e}"),
+            OperatorError::PredicateTypeMismatch { column_type, predicate } => {
+                write!(f, "predicate {predicate} cannot be applied to {column_type} column")
+            }
+            OperatorError::InvalidCalc(msg) => write!(f, "invalid calc: {msg}"),
+            OperatorError::LengthMismatch { left, right } => {
+                write!(f, "operator input length mismatch: {left} vs {right}")
+            }
+            OperatorError::IncompatibleAggregates(msg) => {
+                write!(f, "incompatible aggregate states: {msg}")
+            }
+            OperatorError::UnsupportedJoinKey(ty) => {
+                write!(f, "unsupported join key type: {ty}")
+            }
+            OperatorError::DivisionByZero => write!(f, "division by zero"),
+            OperatorError::EmptyInput(op) => write!(f, "operator {op} requires at least one input"),
+        }
+    }
+}
+
+impl std::error::Error for OperatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OperatorError::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for OperatorError {
+    fn from(e: ColumnarError) -> Self {
+        OperatorError::Columnar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_columnar_errors() {
+        let e: OperatorError = ColumnarError::UnknownColumn("x".into()).into();
+        assert!(matches!(e, OperatorError::Columnar(_)));
+        assert!(e.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(OperatorError::DivisionByZero.to_string().contains("zero"));
+        assert!(OperatorError::EmptyInput("pack").to_string().contains("pack"));
+        assert!(OperatorError::UnsupportedJoinKey("bool").to_string().contains("bool"));
+        let e = OperatorError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+}

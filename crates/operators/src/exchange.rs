@@ -1,0 +1,74 @@
+//! The exchange-union operator (`mat.pack`).
+//!
+//! The exchange-union combines the results of cloned operators running on
+//! different partitions back into a single intermediate (paper §2.1). Its
+//! cost is proportional to the amount of data being packed, which is why the
+//! paper treats it as a first-class operator that can itself become the most
+//! expensive one (triggering the *medium mutation*) and why low-selectivity
+//! plans push it as high as possible (§4.1.2).
+//!
+//! Packing preserves the argument order; because clones are appended to the
+//! union in mutation-sequence order, this is exactly the ordering guarantee
+//! the paper relies on ("the correct ordering is maintained, as the operators
+//! whose results are packed follow the mutation sequence order").
+
+use apq_columnar::{Column, Oid};
+
+use crate::error::{OperatorError, Result};
+
+/// Packs per-partition candidate lists into one list, in argument order.
+pub fn pack_oids(parts: &[Vec<Oid>]) -> Vec<Oid> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Packs per-partition value columns into one dense column, in argument order.
+pub fn pack_columns(parts: &[Column]) -> Result<Column> {
+    if parts.is_empty() {
+        return Err(OperatorError::EmptyInput("pack_columns"));
+    }
+    Ok(Column::concat(parts)?)
+}
+
+/// Number of bytes an exchange union moving these columns would copy — the
+/// "intermediate data copying due to low selectivity input" the medium
+/// mutation reacts to. Exposed for the profiler's memory claims.
+pub fn pack_cost_bytes(parts: &[Column]) -> usize {
+    parts.iter().map(Column::byte_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_oids_preserves_partition_order() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![10u64];
+        let c = vec![];
+        let d = vec![20u64, 21];
+        assert_eq!(pack_oids(&[a, b, c, d]), vec![1, 2, 3, 10, 20, 21]);
+        assert!(pack_oids(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_columns_concatenates() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_i64(vec![3]);
+        let out = pack_columns(&[a, b]).unwrap();
+        assert_eq!(out.i64_values().unwrap(), &[1, 2, 3]);
+        assert!(pack_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn pack_cost_tracks_bytes() {
+        let a = Column::from_i64(vec![1, 2, 3]);
+        let b = Column::from_i64(vec![4]);
+        assert_eq!(pack_cost_bytes(&[a, b]), 32);
+        assert_eq!(pack_cost_bytes(&[]), 0);
+    }
+}

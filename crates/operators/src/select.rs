@@ -1,0 +1,135 @@
+//! The select operator: predicate evaluation producing a candidate oid list.
+//!
+//! The output is a list of *absolute* oids (positions in the base column),
+//! not positions within the slice — this is what keeps the results of select
+//! clones running on different dynamic partitions directly combinable by the
+//! exchange-union operator and directly usable by tuple reconstruction.
+
+use apq_columnar::{Column, Oid};
+
+use crate::error::Result;
+use crate::predicate::Predicate;
+
+/// Evaluates `predicate` over every visible row of `column` and returns the
+/// absolute oids of matching rows, in ascending order.
+pub fn select(column: &Column, predicate: &Predicate) -> Result<Vec<Oid>> {
+    let mask = predicate.eval_mask(column)?;
+    let base = column.base_oid();
+    let mut out = Vec::new();
+    for (i, hit) in mask.into_iter().enumerate() {
+        if hit {
+            out.push(base + i as Oid);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates `predicate` only for the rows named by `candidates` (absolute
+/// oids) and returns the surviving oids, preserving the candidate order.
+///
+/// This is the second select flavour of paper §2.2: a filter that accepts a
+/// column *and* the output of a previous selection. Candidates that fall
+/// outside the column slice are ignored (they belong to another partition's
+/// clone and will be evaluated there).
+pub fn select_with_candidates(
+    column: &Column,
+    predicate: &Predicate,
+    candidates: &[Oid],
+) -> Result<Vec<Oid>> {
+    let lo = column.base_oid();
+    let hi = column.end_oid();
+    let in_range: Vec<Oid> = candidates
+        .iter()
+        .copied()
+        .filter(|&o| o >= lo && o < hi)
+        .collect();
+    if in_range.is_empty() {
+        return Ok(Vec::new());
+    }
+    let gathered = column.gather_oids(&in_range)?;
+    let mask = predicate.eval_mask(&gathered)?;
+    Ok(in_range
+        .into_iter()
+        .zip(mask)
+        .filter_map(|(oid, hit)| hit.then_some(oid))
+        .collect())
+}
+
+/// Fraction of rows of `column` that satisfy `predicate` (test / workload helper).
+pub fn selectivity(column: &Column, predicate: &Predicate) -> Result<f64> {
+    if column.is_empty() {
+        return Ok(0.0);
+    }
+    let hits = select(column, predicate)?.len();
+    Ok(hits as f64 / column.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    #[test]
+    fn select_returns_absolute_oids() {
+        let base = Column::from_i64((0..100).collect());
+        let slice = base.slice(40, 20).unwrap(); // oids [40, 60)
+        let oids = select(&slice, &Predicate::cmp(CmpOp::Ge, 55i64)).unwrap();
+        assert_eq!(oids, vec![55, 56, 57, 58, 59]);
+    }
+
+    #[test]
+    fn select_on_full_column() {
+        let c = Column::from_i64(vec![5, 1, 9, 3]);
+        let oids = select(&c, &Predicate::cmp(CmpOp::Gt, 3i64)).unwrap();
+        assert_eq!(oids, vec![0, 2]);
+        let none = select(&c, &Predicate::cmp(CmpOp::Gt, 100i64)).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn partitioned_selects_union_to_serial_select() {
+        let values: Vec<i64> = (0..1000).map(|v| (v * 7919) % 100).collect();
+        let c = Column::from_i64(values);
+        let pred = Predicate::cmp(CmpOp::Lt, 37i64);
+        let serial = select(&c, &pred).unwrap();
+
+        let mut packed = Vec::new();
+        for (start, len) in [(0usize, 400usize), (400, 350), (750, 250)] {
+            let part = c.slice(start, len).unwrap();
+            packed.extend(select(&part, &pred).unwrap());
+        }
+        assert_eq!(packed, serial);
+    }
+
+    #[test]
+    fn candidate_select_preserves_order_and_filters() {
+        let c = Column::from_i64(vec![10, 20, 30, 40, 50]);
+        let cands = vec![4, 1, 3];
+        let out = select_with_candidates(&c, &Predicate::cmp(CmpOp::Ge, 40i64), &cands).unwrap();
+        assert_eq!(out, vec![4, 3]);
+    }
+
+    #[test]
+    fn candidate_select_ignores_out_of_partition_oids() {
+        let base = Column::from_i64((0..100).collect());
+        let part = base.slice(50, 50).unwrap();
+        // Candidates 10 and 20 belong to the other partition: silently skipped.
+        let out =
+            select_with_candidates(&part, &Predicate::cmp(CmpOp::Ge, 0i64), &[10, 20, 60, 70])
+                .unwrap();
+        assert_eq!(out, vec![60, 70]);
+        // All candidates out of range.
+        let out =
+            select_with_candidates(&part, &Predicate::cmp(CmpOp::Ge, 0i64), &[1, 2, 3]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn selectivity_helper() {
+        let c = Column::from_i64((0..100).collect());
+        let s = selectivity(&c, &Predicate::cmp(CmpOp::Lt, 25i64)).unwrap();
+        assert!((s - 0.25).abs() < 1e-9);
+        let empty = Column::from_i64(vec![]);
+        assert_eq!(selectivity(&empty, &Predicate::cmp(CmpOp::Lt, 1i64)).unwrap(), 0.0);
+    }
+}

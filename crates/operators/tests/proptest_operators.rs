@@ -1,0 +1,132 @@
+//! Property-based tests for the operator algebra the adaptive parallelizer
+//! depends on: for every operator, executing it per-partition and combining
+//! with the matching combiner must equal executing it once over the whole
+//! input. This is exactly the correctness obligation of the basic / advanced
+//! mutations.
+
+use apq_columnar::Column;
+use apq_operators::{
+    calc_col_col, grouped_agg, merge_grouped, pack_oids, scalar_agg, select, AggFunc, AggState,
+    BinaryOp, CmpOp, JoinHashTable, JoinResult, Predicate,
+};
+use proptest::prelude::*;
+
+fn partition_points(n: usize, cuts: &[usize]) -> Vec<usize> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+    points.push(0);
+    points.push(n);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+proptest! {
+    /// Partitioned select + exchange union == serial select.
+    #[test]
+    fn partitioned_select_equals_serial(values in prop::collection::vec(-100i64..100, 1..500),
+                                        threshold in -100i64..100,
+                                        cuts in prop::collection::vec(0usize..500, 0..5)) {
+        let col = Column::from_i64(values.clone());
+        let pred = Predicate::cmp(CmpOp::Lt, threshold);
+        let serial = select(&col, &pred).unwrap();
+        let points = partition_points(values.len(), &cuts);
+        let mut parts = Vec::new();
+        for w in points.windows(2) {
+            if w[1] > w[0] {
+                let slice = col.slice(w[0], w[1] - w[0]).unwrap();
+                parts.push(select(&slice, &pred).unwrap());
+            }
+        }
+        prop_assert_eq!(pack_oids(&parts), serial);
+    }
+
+    /// Partitioned probe + concat == serial probe (outer-partitioned hash join).
+    #[test]
+    fn partitioned_join_equals_serial(inner in prop::collection::vec(0i64..50, 1..100),
+                                      outer in prop::collection::vec(0i64..50, 1..400),
+                                      cuts in prop::collection::vec(0usize..400, 0..5)) {
+        let inner_col = Column::from_i64(inner);
+        let outer_col = Column::from_i64(outer.clone());
+        let ht = JoinHashTable::build(&inner_col).unwrap();
+        let serial = ht.probe(&outer_col).unwrap();
+        let points = partition_points(outer.len(), &cuts);
+        let mut parts = Vec::new();
+        for w in points.windows(2) {
+            if w[1] > w[0] {
+                parts.push(ht.probe(&outer_col.slice(w[0], w[1] - w[0]).unwrap()).unwrap());
+            }
+        }
+        prop_assert_eq!(JoinResult::concat(&parts), serial);
+    }
+
+    /// Partial scalar aggregates merge to the whole-column aggregate.
+    #[test]
+    fn partial_aggregates_merge(values in prop::collection::vec(-1000i64..1000, 1..500),
+                                cuts in prop::collection::vec(0usize..500, 0..5)) {
+        let col = Column::from_i64(values.clone());
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let expected = scalar_agg(func, &col).unwrap().finish();
+            let points = partition_points(values.len(), &cuts);
+            let mut merged = AggState::new(func);
+            for w in points.windows(2) {
+                if w[1] > w[0] {
+                    let slice = col.slice(w[0], w[1] - w[0]).unwrap();
+                    merged.merge(&scalar_agg(func, &slice).unwrap()).unwrap();
+                }
+            }
+            prop_assert_eq!(merged.finish(), expected);
+        }
+    }
+
+    /// Partial grouped aggregates merge to the whole-column grouped aggregate.
+    #[test]
+    fn partial_grouped_aggregates_merge(rows in prop::collection::vec((0i64..10, -50i64..50), 1..400),
+                                        cuts in prop::collection::vec(0usize..400, 0..4)) {
+        let keys: Vec<i64> = rows.iter().map(|r| r.0).collect();
+        let vals: Vec<i64> = rows.iter().map(|r| r.1).collect();
+        let kcol = Column::from_i64(keys);
+        let vcol = Column::from_i64(vals);
+        let whole = grouped_agg(AggFunc::Sum, &kcol, &vcol).unwrap();
+        let points = partition_points(rows.len(), &cuts);
+        let mut parts = Vec::new();
+        for w in points.windows(2) {
+            if w[1] > w[0] {
+                parts.push(
+                    grouped_agg(
+                        AggFunc::Sum,
+                        &kcol.slice(w[0], w[1] - w[0]).unwrap(),
+                        &vcol.slice(w[0], w[1] - w[0]).unwrap(),
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let merged = merge_grouped(&parts).unwrap();
+        prop_assert_eq!(merged.finish_sorted(), whole.finish_sorted());
+    }
+
+    /// calc is element-wise: slicing inputs and concatenating outputs equals
+    /// computing over the whole columns.
+    #[test]
+    fn calc_is_elementwise(pairs in prop::collection::vec((-1000i64..1000, -1000i64..1000), 1..300),
+                           cut in 0usize..300) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let ca = Column::from_i64(a);
+        let cb = Column::from_i64(b);
+        let whole = calc_col_col(BinaryOp::Mul, &ca, &cb).unwrap();
+        let cut = cut % (pairs.len() + 1);
+        let mut parts = Vec::new();
+        if cut > 0 {
+            parts.push(calc_col_col(BinaryOp::Mul,
+                &ca.slice(0, cut).unwrap(), &cb.slice(0, cut).unwrap()).unwrap());
+        }
+        if cut < pairs.len() {
+            parts.push(calc_col_col(BinaryOp::Mul,
+                &ca.slice(cut, pairs.len() - cut).unwrap(),
+                &cb.slice(cut, pairs.len() - cut).unwrap()).unwrap());
+        }
+        let packed = Column::concat(&parts).unwrap();
+        prop_assert_eq!(packed.i64_values().unwrap(), whole.i64_values().unwrap());
+    }
+}

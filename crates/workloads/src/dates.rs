@@ -1,0 +1,89 @@
+//! Calendar helpers: dates are stored as `i32` days since 1970-01-01.
+
+/// Days since 1970-01-01 for a proleptic Gregorian calendar date.
+///
+/// Uses the standard civil-from-days algorithm (Howard Hinnant); valid for
+/// the whole TPC date range.
+pub fn days_from_civil(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((month + 9) % 12) as i64; // March = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+/// Civil date `(year, month, day)` for a days-since-epoch value.
+pub fn civil_from_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// The year of a days-since-epoch value.
+pub fn year_of(days: i32) -> i32 {
+    civil_from_days(days).0
+}
+
+/// Adds (approximately) `months` months to a date expressed in days.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = total.rem_euclid(12) as u32 + 1;
+    let nd = d.min(28); // clamp to keep the date valid in every month
+    days_from_civil(ny, nm, nd)
+}
+
+/// First day of the TPC-H date range (1992-01-01).
+pub const TPCH_DATE_MIN: i32 = 8035;
+/// One past the last shipping date of the TPC-H date range (1998-12-31).
+pub const TPCH_DATE_MAX: i32 = 10_592;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1992, 1, 1), 8035);
+        assert_eq!(days_from_civil(1998, 12, 31), 10_591);
+        assert_eq!(days_from_civil(1995, 9, 1), 9374);
+        assert_eq!(TPCH_DATE_MIN, days_from_civil(1992, 1, 1));
+        assert_eq!(TPCH_DATE_MAX, days_from_civil(1998, 12, 31) + 1);
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        for days in [-1000, 0, 1, 8035, 9374, 10_591, 20_000] {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "roundtrip for {days}");
+            assert!((1..=12).contains(&m));
+            assert!((1..=31).contains(&d));
+        }
+    }
+
+    #[test]
+    fn year_extraction_and_month_arithmetic() {
+        assert_eq!(year_of(days_from_civil(1994, 6, 15)), 1994);
+        let d = days_from_civil(1995, 11, 20);
+        assert_eq!(civil_from_days(add_months(d, 1)).1, 12);
+        assert_eq!(civil_from_days(add_months(d, 2)).0, 1996);
+        assert_eq!(civil_from_days(add_months(d, -11)).1, 12);
+        // Clamping keeps the day valid.
+        let jan31 = days_from_civil(1996, 1, 31);
+        let (_, m, day) = civil_from_days(add_months(jan31, 1));
+        assert_eq!(m, 2);
+        assert!(day <= 28);
+    }
+}

@@ -1,0 +1,19 @@
+//! TPC-DS-like workload: a skewed star schema and five report-style queries.
+//!
+//! Paper §4.2.2 evaluates "a few modified queries ... a subset of the
+//! original TPC-DS queries ... chosen such that they contain the large tables
+//! and a few smaller dimension tables" on a skewed 100 GB dataset, and
+//! attributes the adaptive plans' up-to-5× advantage to "correct partitioning
+//! by adaptive parallelization ... and the skewed data distribution".
+//!
+//! The official dsdgen tool is unavailable offline, so [`datagen`] produces a
+//! scaled star schema (`store_sales` fact table plus `item`, `date_dim`,
+//! `store` dimensions) whose fact-side foreign keys follow Zipf distributions
+//! — popular items/stores dominate — which is what creates the per-partition
+//! execution skew the experiment depends on.
+
+pub mod datagen;
+pub mod queries;
+
+pub use datagen::{generate, TpcdsScale};
+pub use queries::TpcdsQuery;

@@ -1,0 +1,285 @@
+//! Serial plans for the five TPC-DS-like report queries.
+//!
+//! All five follow the star-join shape of the original TPC-DS reporting
+//! queries (Q3 / Q7 / Q42 / Q52 / Q55): filter one or two dimensions, join
+//! the large `store_sales` fact table against them, and aggregate a measure
+//! per brand or category. The skewed `ss_item_sk` / `ss_store_sk` foreign
+//! keys make the per-partition work highly non-uniform, which is the property
+//! the paper's TPC-DS experiment (Fig. 17) exercises.
+
+use apq_columnar::Catalog;
+use apq_engine::plan::{JoinSide, Plan};
+use apq_engine::Result;
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+use crate::builder::PlanBuilder;
+
+/// The five evaluated TPC-DS-like queries (numbered 1..5 as in paper Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpcdsQuery {
+    /// Books revenue by brand in 2000 (TPC-DS Q3 shape).
+    Q1,
+    /// Average quantity by category for Tennessee / California stores (Q7 shape).
+    Q2,
+    /// Revenue by category in November 2001 (Q42 shape).
+    Q3,
+    /// Revenue by brand in December 2000 (Q52 shape).
+    Q4,
+    /// Revenue by brand for low-manager-id items in December (Q55 shape).
+    Q5,
+}
+
+impl TpcdsQuery {
+    /// All five queries in paper order.
+    pub fn all() -> [TpcdsQuery; 5] {
+        [TpcdsQuery::Q1, TpcdsQuery::Q2, TpcdsQuery::Q3, TpcdsQuery::Q4, TpcdsQuery::Q5]
+    }
+
+    /// Position (1-based) on the x-axis of paper Fig. 17.
+    pub fn number(&self) -> u32 {
+        match self {
+            TpcdsQuery::Q1 => 1,
+            TpcdsQuery::Q2 => 2,
+            TpcdsQuery::Q3 => 3,
+            TpcdsQuery::Q4 => 4,
+            TpcdsQuery::Q5 => 5,
+        }
+    }
+
+    /// Builds the serial plan for this query over `catalog`.
+    pub fn build(&self, catalog: &Catalog) -> Result<Plan> {
+        match self {
+            TpcdsQuery::Q1 => ds_q1(catalog),
+            TpcdsQuery::Q2 => ds_q2(catalog),
+            TpcdsQuery::Q3 => ds_q3(catalog),
+            TpcdsQuery::Q4 => ds_q4(catalog),
+            TpcdsQuery::Q5 => ds_q5(catalog),
+        }
+    }
+}
+
+impl std::fmt::Display for TpcdsQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DS-{}", self.number())
+    }
+}
+
+/// Shared skeleton: filter `item` and `date_dim`, join the fact table against
+/// both, and sum `ss_ext_sales_price` per item attribute.
+fn item_date_star(
+    catalog: &Catalog,
+    item_filter: Option<(&str, Predicate)>,
+    date_filter: Vec<Predicate>,
+    group_column: &str,
+    measure: &str,
+    func: AggFunc,
+) -> Result<Plan> {
+    let mut b = PlanBuilder::new(catalog);
+
+    // Filtered item side.
+    let i_item_sk = b.scan("item", "i_item_sk")?;
+    let group_col = b.scan("item", group_column)?;
+    let (item_keys, group_f) = match item_filter {
+        Some((filter_column, pred)) => {
+            let target = b.scan("item", filter_column)?;
+            let selected = b.select(target, pred);
+            let keys = b.fetch(selected, i_item_sk);
+            let group = b.fetch(selected, group_col);
+            (keys, group)
+        }
+        None => (i_item_sk, group_col),
+    };
+    let item_hash = b.hash_build(item_keys);
+
+    // Filtered date side.
+    let d_date_sk = b.scan("date_dim", "d_date_sk")?;
+    let date_keys = if date_filter.is_empty() {
+        d_date_sk
+    } else {
+        let year_col = b.scan("date_dim", "d_year")?;
+        let moy_col = b.scan("date_dim", "d_moy")?;
+        let mut selected = None;
+        for (i, pred) in date_filter.into_iter().enumerate() {
+            let column = if i == 0 { year_col } else { moy_col };
+            selected = Some(match selected {
+                None => b.select(column, pred),
+                Some(prev) => b.select_with(column, prev, pred),
+            });
+        }
+        let selected = selected.expect("at least one date predicate");
+        b.fetch(selected, d_date_sk)
+    };
+    let date_hash = b.hash_build(date_keys);
+
+    // Fact pipeline.
+    let ss_item = b.scan("store_sales", "ss_item_sk")?;
+    let join_item = b.probe(ss_item, item_hash);
+    let fact_side = b.join_side(join_item, JoinSide::Outer);
+    let item_side = b.join_side(join_item, JoinSide::Inner);
+
+    let ss_date = b.scan("store_sales", "ss_sold_date_sk")?;
+    let fact_dates = b.fetch(fact_side, ss_date);
+    let join_date = b.probe(fact_dates, date_hash);
+    let fact2_side = b.join_side(join_date, JoinSide::Outer);
+
+    let measure_col = b.scan("store_sales", measure)?;
+    let measure_f = b.fetch(fact_side, measure_col);
+    let measure_j = b.fetch(fact2_side, measure_f);
+
+    let group_j1 = b.fetch(item_side, group_f);
+    let group_j2 = b.fetch(fact2_side, group_j1);
+
+    let grouped = b.group_agg(func, group_j2, measure_j);
+    b.finish(grouped)
+}
+
+/// DS-1 (Q3 shape): revenue of `Books` items per brand in the year 2000.
+pub fn ds_q1(catalog: &Catalog) -> Result<Plan> {
+    item_date_star(
+        catalog,
+        Some(("i_category", Predicate::cmp(CmpOp::Eq, "Books"))),
+        vec![Predicate::cmp(CmpOp::Eq, 2000i64)],
+        "i_brand",
+        "ss_ext_sales_price",
+        AggFunc::Sum,
+    )
+}
+
+/// DS-2 (Q7 shape): average quantity per item category for stores in
+/// Tennessee or California.
+pub fn ds_q2(catalog: &Catalog) -> Result<Plan> {
+    let mut b = PlanBuilder::new(catalog);
+    // Filtered store side.
+    let s_state = b.scan("store", "s_state")?;
+    let tn_ca = b.select(s_state, Predicate::InStr(vec!["TN".to_string(), "CA".to_string()]));
+    let s_store_sk = b.scan("store", "s_store_sk")?;
+    let store_keys = b.fetch(tn_ca, s_store_sk);
+    let store_hash = b.hash_build(store_keys);
+
+    // Unfiltered item side (provides the grouping attribute).
+    let i_item_sk = b.scan("item", "i_item_sk")?;
+    let item_hash = b.hash_build(i_item_sk);
+    let i_category = b.scan("item", "i_category")?;
+
+    // Fact pipeline: restrict to the selected stores, then join items.
+    let ss_store = b.scan("store_sales", "ss_store_sk")?;
+    let join_store = b.probe(ss_store, store_hash);
+    let fact_side = b.join_side(join_store, JoinSide::Outer);
+
+    let ss_item = b.scan("store_sales", "ss_item_sk")?;
+    let fact_items = b.fetch(fact_side, ss_item);
+    let join_item = b.probe(fact_items, item_hash);
+    let fact2_side = b.join_side(join_item, JoinSide::Outer);
+    let item_side = b.join_side(join_item, JoinSide::Inner);
+
+    let quantity = b.scan("store_sales", "ss_quantity")?;
+    let qty_f = b.fetch(fact_side, quantity);
+    let qty_j = b.fetch(fact2_side, qty_f);
+    let category_j = b.fetch(item_side, i_category);
+
+    let grouped = b.group_agg(AggFunc::Avg, category_j, qty_j);
+    b.finish(grouped)
+}
+
+/// DS-3 (Q42 shape): revenue per category in November 2001.
+pub fn ds_q3(catalog: &Catalog) -> Result<Plan> {
+    item_date_star(
+        catalog,
+        None,
+        vec![Predicate::cmp(CmpOp::Eq, 2001i64), Predicate::cmp(CmpOp::Eq, 11i64)],
+        "i_category",
+        "ss_ext_sales_price",
+        AggFunc::Sum,
+    )
+}
+
+/// DS-4 (Q52 shape): revenue per brand in December 2000.
+pub fn ds_q4(catalog: &Catalog) -> Result<Plan> {
+    item_date_star(
+        catalog,
+        None,
+        vec![Predicate::cmp(CmpOp::Eq, 2000i64), Predicate::cmp(CmpOp::Eq, 12i64)],
+        "i_brand",
+        "ss_ext_sales_price",
+        AggFunc::Sum,
+    )
+}
+
+/// DS-5 (Q55 shape): revenue per brand of items managed by managers 0..39,
+/// for December sales of any year.
+pub fn ds_q5(catalog: &Catalog) -> Result<Plan> {
+    item_date_star(
+        catalog,
+        Some(("i_manager_id", Predicate::cmp(CmpOp::Lt, 40i64))),
+        vec![Predicate::cmp(CmpOp::Ge, 1998i64), Predicate::cmp(CmpOp::Eq, 12i64)],
+        "i_brand",
+        "ss_ext_sales_price",
+        AggFunc::Sum,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::datagen::{generate, TpcdsScale};
+    use apq_engine::{Engine, QueryOutput};
+
+    #[test]
+    fn metadata() {
+        assert_eq!(TpcdsQuery::all().len(), 5);
+        assert_eq!(TpcdsQuery::Q3.number(), 3);
+        assert_eq!(TpcdsQuery::Q5.to_string(), "DS-5");
+    }
+
+    #[test]
+    fn all_queries_build_and_execute() {
+        let cat = generate(TpcdsScale::new(0.002), 31);
+        let engine = Engine::with_workers(3);
+        for query in TpcdsQuery::all() {
+            let plan = query.build(&cat).unwrap_or_else(|e| panic!("{query} failed to build: {e}"));
+            plan.validate().unwrap();
+            let exec = engine
+                .execute(&plan, &cat)
+                .unwrap_or_else(|e| panic!("{query} failed to execute: {e}"));
+            match exec.output {
+                QueryOutput::Groups(groups) => {
+                    assert!(!groups.is_empty(), "{query} produced no groups")
+                }
+                other => panic!("{query} produced unexpected output {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn category_query_groups_within_domain() {
+        let cat = generate(TpcdsScale::new(0.002), 7);
+        let engine = Engine::with_workers(2);
+        let out = engine.execute(&ds_q3(&cat).unwrap(), &cat).unwrap().output;
+        match out {
+            QueryOutput::Groups(groups) => {
+                assert!(groups.len() <= super::super::datagen::CATEGORIES.len());
+                for (key, value) in groups {
+                    assert!(matches!(key, apq_operators::GroupKey::Str(_)));
+                    assert!(value.as_i64().unwrap() > 0);
+                }
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn average_query_produces_sane_quantities() {
+        let cat = generate(TpcdsScale::new(0.002), 9);
+        let engine = Engine::with_workers(2);
+        let out = engine.execute(&ds_q2(&cat).unwrap(), &cat).unwrap().output;
+        match out {
+            QueryOutput::Groups(groups) => {
+                for (_, avg) in groups {
+                    let v = avg.as_f64().unwrap();
+                    assert!((1.0..=100.0).contains(&v), "average quantity {v} out of range");
+                }
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Adaptive vs heuristic parallelization on the TPC-H-like workload.
+//!
+//! Builds a scale-factor-0.01 database, then runs every evaluated query
+//! (Q4, Q6, Q8, Q9, Q14, Q19, Q22) three ways: the serial plan, the
+//! statically parallelized (heuristic) plan, and the plan found by adaptive
+//! parallelization.
+//!
+//! ```text
+//! cargo run --release --example adaptive_tpch
+//! ```
+
+use std::time::Instant;
+
+use adaptive_parallelization::adaptive::{AdaptiveConfig, AdaptiveOptimizer};
+use adaptive_parallelization::baselines::heuristic_parallelize;
+use adaptive_parallelization::engine::Engine;
+use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = TpchScale::new(0.01);
+    println!(
+        "generating TPC-H-like data (scale factor {}, {} lineitem rows)...",
+        scale.sf,
+        scale.lineitem_rows()
+    );
+    let catalog = tpch::generate(scale, 42);
+    let engine = Engine::with_workers(8);
+    let optimizer = AdaptiveOptimizer::new(
+        AdaptiveConfig::for_cores(engine.n_workers()).with_max_runs(24),
+    );
+
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "query", "serial_ms", "heuristic_ms", "adaptive_ms", "AP_runs", "AP_selects"
+    );
+    for query in TpchQuery::all() {
+        let serial_plan = query.build(&catalog)?;
+        let serial_ms = time_ms(|| {
+            engine.execute(&serial_plan, &catalog).expect("serial execution");
+        });
+
+        let hp_plan = heuristic_parallelize(&serial_plan, &catalog, engine.n_workers())?;
+        let hp_ms = time_ms(|| {
+            engine.execute(&hp_plan, &catalog).expect("heuristic execution");
+        });
+
+        let report = optimizer.optimize(&engine, &catalog, &serial_plan)?;
+        let ap_ms = time_ms(|| {
+            engine.execute(&report.best_plan, &catalog).expect("adaptive execution");
+        });
+
+        println!(
+            "{:<5} {:>12.3} {:>12.3} {:>12.3} {:>8} {:>10}",
+            query.to_string(),
+            serial_ms,
+            hp_ms,
+            ap_ms,
+            report.total_runs,
+            report.best_plan.count_of("select"),
+        );
+    }
+    Ok(())
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // Best of three, like the experiment harness.
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1000.0
+        })
+        .fold(f64::INFINITY, f64::min)
+}

@@ -1,0 +1,69 @@
+//! Concurrent workload: why the adaptive plans' lower degree of parallelism
+//! pays off when the machine is busy.
+//!
+//! A pool of background clients keeps firing heuristically parallelized
+//! TPC-H queries; the example then measures the response time of Q6 and Q14
+//! executed (a) as heuristic plans and (b) as the plans found by adaptive
+//! parallelization, mirroring the paper's Figure 16 concurrent bars.
+//!
+//! ```text
+//! cargo run --release --example concurrent_workload
+//! ```
+
+use std::sync::Arc;
+
+use adaptive_parallelization::adaptive::{AdaptiveConfig, AdaptiveOptimizer};
+use adaptive_parallelization::baselines::heuristic_parallelize;
+use adaptive_parallelization::engine::Engine;
+use adaptive_parallelization::workloads::concurrent::{measure_under_load, BackgroundLoad};
+use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = 8;
+    let clients = 16;
+    let catalog = tpch::generate(TpchScale::new(0.01), 42);
+    let engine = Arc::new(Engine::with_workers(workers));
+    let optimizer =
+        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
+
+    // Prepare plans while the system is idle.
+    let mut prepared = Vec::new();
+    let mut background = Vec::new();
+    for query in TpchQuery::all() {
+        let serial = query.build(&catalog)?;
+        let hp = heuristic_parallelize(&serial, &catalog, workers)?;
+        background.push(hp.clone());
+        if matches!(query, TpchQuery::Q6 | TpchQuery::Q14 | TpchQuery::Q8) {
+            let report = optimizer.optimize(&engine, &catalog, &serial)?;
+            prepared.push((query, hp, report.best_plan.clone()));
+        }
+    }
+
+    println!("starting {clients} background clients on {workers} workers...");
+    let load = BackgroundLoad::start(
+        Arc::clone(&engine),
+        Arc::clone(&catalog),
+        background,
+        clients,
+        7,
+    );
+
+    println!(
+        "{:<5} {:>16} {:>16} {:>12}",
+        "query", "heuristic_ms", "adaptive_ms", "improvement"
+    );
+    for (query, hp, ap) in &prepared {
+        let hp_m = measure_under_load(&engine, &catalog, hp, 5)?;
+        let ap_m = measure_under_load(&engine, &catalog, ap, 5)?;
+        println!(
+            "{:<5} {:>16.3} {:>16.3} {:>11.1}%",
+            query.to_string(),
+            hp_m.mean_ms(),
+            ap_m.mean_ms(),
+            (1.0 - ap_m.mean_ms() / hp_m.mean_ms()) * 100.0,
+        );
+    }
+    let executed = load.stop();
+    println!("background clients completed {executed} queries during the measurement");
+    Ok(())
+}

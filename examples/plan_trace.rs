@@ -1,0 +1,54 @@
+//! Plan evolution and tomograph-style execution traces (paper Figs. 19/20).
+//!
+//! Shows TPC-H Q14's serial plan, the plan adaptive parallelization converges
+//! to, and the statically parallelized plan — then executes the latter two
+//! and renders per-worker timelines so the multi-core-utilization difference
+//! is visible in the terminal.
+//!
+//! ```text
+//! cargo run --release --example plan_trace
+//! ```
+
+use adaptive_parallelization::adaptive::{AdaptiveConfig, AdaptiveOptimizer};
+use adaptive_parallelization::baselines::heuristic_parallelize;
+use adaptive_parallelization::engine::Engine;
+use adaptive_parallelization::workloads::tpch::{self, queries::q14, TpchScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = 8;
+    let catalog = tpch::generate(TpchScale::new(0.01), 42);
+    let engine = Engine::with_workers(workers);
+    let serial = q14(&catalog)?;
+
+    println!("--- serial Q14 plan ({} operators) ---", serial.node_count());
+    println!("{}", serial.pretty());
+
+    let optimizer =
+        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
+    let report = optimizer.optimize(&engine, &catalog, &serial)?;
+    println!(
+        "--- adaptive Q14 plan after {} runs ({} operators, speedup {:.2}x) ---",
+        report.total_runs,
+        report.best_plan.node_count(),
+        report.speedup()
+    );
+    println!("{}", report.best_plan.pretty());
+
+    let hp = heuristic_parallelize(&serial, &catalog, workers)?;
+    println!("--- heuristic Q14 plan ({} operators) ---", hp.node_count());
+
+    let ap_exec = engine.execute(&report.best_plan, &catalog)?;
+    let hp_exec = engine.execute(&hp, &catalog)?;
+    println!("--- adaptive execution trace (paper Fig. 19) ---");
+    println!("{}", ap_exec.profile.timeline(100));
+    println!("--- heuristic execution trace (paper Fig. 20) ---");
+    println!("{}", hp_exec.profile.timeline(100));
+    println!(
+        "multi-core utilization: adaptive {:.1}% vs heuristic {:.1}%  |  parallelism usage: adaptive {:.1}% vs heuristic {:.1}%",
+        ap_exec.profile.multi_core_utilization() * 100.0,
+        hp_exec.profile.multi_core_utilization() * 100.0,
+        ap_exec.profile.parallelism_usage() * 100.0,
+        hp_exec.profile.parallelism_usage() * 100.0,
+    );
+    Ok(())
+}
