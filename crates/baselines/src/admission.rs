@@ -14,14 +14,28 @@
 //! tracks the number of active queries and grants the full degree of
 //! parallelism only while the system is idle; once other clients occupy the
 //! system, newly admitted queries are throttled down (to a serial plan at
-//! full saturation). The plans themselves are the same statically
-//! parallelized exchange plans as the heuristic baseline.
+//! full saturation).
+//!
+//! Two enforcement mechanisms exist:
+//!
+//! * **Plan rewriting** ([`AdmissionController::plan_for`], the seed
+//!   behavior): the granted DOP is baked into a statically parallelized
+//!   exchange plan, exactly like the heuristic baseline. Once admitted, a
+//!   query keeps its plan even if resources free up.
+//! * **Scheduler policy** ([`AdmissionController::execute_admitted`]): the
+//!   plan stays maximally parallel and the granted DOP is enforced by the
+//!   engine's scheduler through the query's
+//!   [`apq_engine::QueryHandle`] — at most `dop` of the query's tasks
+//!   execute concurrently. This is the faithful model of a resource
+//!   governor: throttling happens at dispatch time, can be re-granted
+//!   mid-flight ([`apq_engine::QueryHandle::set_admitted_dop`]), and leaves
+//!   the plan untouched.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use apq_columnar::Catalog;
-use apq_engine::{Plan, Result};
+use apq_engine::{Engine, Plan, QueryExecution, QueryOptions, Result};
 
 use crate::heuristic::heuristic_parallelize;
 
@@ -43,10 +57,7 @@ pub struct AdmissionTicket {
 impl AdmissionController {
     /// Controller granting at most `full_dop`-way parallelism to an idle system.
     pub fn new(full_dop: usize) -> Self {
-        AdmissionController {
-            full_dop: full_dop.max(1),
-            active: Arc::new(AtomicUsize::new(0)),
-        }
+        AdmissionController { full_dop: full_dop.max(1), active: Arc::new(AtomicUsize::new(0)) }
     }
 
     /// Number of queries currently holding a ticket.
@@ -77,11 +88,7 @@ impl AdmissionController {
     /// Builds the plan an admission-controlled exchange engine would run for
     /// this query right now, together with the ticket that must be held while
     /// the query executes.
-    pub fn plan_for(
-        &self,
-        serial: &Plan,
-        catalog: &Catalog,
-    ) -> Result<(Plan, AdmissionTicket)> {
+    pub fn plan_for(&self, serial: &Plan, catalog: &Catalog) -> Result<(Plan, AdmissionTicket)> {
         let ticket = self.admit();
         let plan = if ticket.dop <= 1 {
             serial.clone()
@@ -89,6 +96,23 @@ impl AdmissionController {
             heuristic_parallelize(serial, catalog, ticket.dop)?
         };
         Ok((plan, ticket))
+    }
+
+    /// Admission as a *scheduler policy*: executes `plan` (typically the
+    /// fully parallelized plan) with the currently granted DOP enforced by
+    /// the engine's scheduler rather than baked into the plan. The admission
+    /// slot is held for the duration of the call; the execution and the DOP
+    /// the query ran at are returned.
+    pub fn execute_admitted(
+        &self,
+        engine: &Engine,
+        plan: &Arc<Plan>,
+        catalog: &Arc<Catalog>,
+    ) -> Result<(QueryExecution, usize)> {
+        let ticket = self.admit();
+        let handle = engine.register_query(QueryOptions::with_admitted_dop(ticket.dop()));
+        let exec = engine.execute_with_handle(plan, catalog, handle)?;
+        Ok((exec, ticket.dop()))
     }
 }
 
@@ -129,12 +153,21 @@ mod tests {
     fn serial_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(
-            OperatorSpec::ScanColumn { table: "fact".into(), column: "a".into(), range: RowRange::new(0, rows) },
+            OperatorSpec::ScanColumn {
+                table: "fact".into(),
+                column: "a".into(),
+                range: RowRange::new(0, rows),
+            },
             vec![],
         );
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 50i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 50i64) }, vec![a]);
         let b = p.add(
-            OperatorSpec::ScanColumn { table: "fact".into(), column: "b".into(), range: RowRange::new(0, rows) },
+            OperatorSpec::ScanColumn {
+                table: "fact".into(),
+                column: "b".into(),
+                range: RowRange::new(0, rows),
+            },
             vec![],
         );
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
@@ -199,5 +232,42 @@ mod tests {
         let ctrl = AdmissionController::new(0);
         assert_eq!(ctrl.full_dop(), 1);
         assert_eq!(ctrl.admit().dop(), 1);
+    }
+
+    #[test]
+    fn scheduler_enforced_admission_preserves_results_under_both_policies() {
+        use apq_engine::{EngineConfig, SchedulerPolicy};
+
+        let rows = 6_000;
+        let cat = catalog(rows);
+        let serial = serial_plan(rows);
+        for policy in SchedulerPolicy::ALL {
+            let engine = Engine::new(EngineConfig::with_workers(4).with_scheduler(policy));
+            let expected = engine.execute(&serial, &cat).unwrap().output;
+            // The plan stays fully parallel; only the scheduler throttles it.
+            let parallel = Arc::new(heuristic_parallelize(&serial, &cat, 4).unwrap());
+            let ctrl = AdmissionController::new(4);
+            // Saturate the system so the next admitted query gets DOP 1.
+            let _t1 = ctrl.admit();
+            let _t2 = ctrl.admit();
+            let _t3 = ctrl.admit();
+            let (exec, dop) = ctrl.execute_admitted(&engine, &parallel, &cat).unwrap();
+            assert_eq!(dop, 1, "{policy}: expected saturation-level DOP");
+            assert_eq!(exec.output, expected, "{policy}: throttled execution diverged");
+            // The plan itself was not rewritten: all 4 partitions executed.
+            assert_eq!(exec.profile.count_by_name()["select"], 4);
+        }
+    }
+
+    #[test]
+    fn admission_slot_is_released_after_scheduler_enforced_execution() {
+        let rows = 2_000;
+        let cat = catalog(rows);
+        let engine = Engine::with_workers(2);
+        let plan = Arc::new(serial_plan(rows));
+        let ctrl = AdmissionController::new(4);
+        let (_, dop) = ctrl.execute_admitted(&engine, &plan, &cat).unwrap();
+        assert_eq!(dop, 4, "idle system grants the full DOP");
+        assert_eq!(ctrl.active_queries(), 0, "slot must be released on return");
     }
 }

@@ -33,7 +33,7 @@ pub fn heuristic_parallelize(
     for id in serial.node_ids() {
         if let OperatorSpec::ScanColumn { table, .. } = &serial.node(id)?.spec {
             let rows = catalog.table(table)?.row_count();
-            if driver.as_ref().map_or(true, |(_, best)| rows > *best) {
+            if driver.as_ref().is_none_or(|(_, best)| rows > *best) {
                 driver = Some((table.clone(), rows));
             }
         }
@@ -138,7 +138,8 @@ pub fn heuristic_parallelize_with_driver(
                     // packed exchange union.
                     let splices_partials = matches!(
                         spec,
-                        OperatorSpec::FinalizeAgg { .. } | OperatorSpec::MergeGrouped
+                        OperatorSpec::FinalizeAgg { .. }
+                            | OperatorSpec::MergeGrouped
                             | OperatorSpec::ExchangeUnion
                     );
                     let mut inputs = Vec::new();
@@ -238,14 +239,19 @@ mod tests {
     }
 
     fn scan(table: &str, column: &str, rows: usize) -> OperatorSpec {
-        OperatorSpec::ScanColumn { table: table.into(), column: column.into(), range: RowRange::new(0, rows) }
+        OperatorSpec::ScanColumn {
+            table: table.into(),
+            column: column.into(),
+            range: RowRange::new(0, rows),
+        }
     }
 
     /// Serial plan: sum(b) where a < 100 (filter + fetch + aggregate).
     fn filter_sum_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(scan("fact", "a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
         let b = p.add(scan("fact", "b", rows), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -259,14 +265,17 @@ mod tests {
     fn join_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(scan("fact", "a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
         let fk = p.add(scan("fact", "fk", rows), vec![]);
         let keys = p.add(OperatorSpec::Fetch, vec![sel, fk]);
         let dim_id = p.add(scan("dim", "id", 50), vec![]);
         let build = p.add(OperatorSpec::HashBuild, vec![dim_id]);
         let probe = p.add(OperatorSpec::HashProbe, vec![keys, build]);
-        let outer = p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Outer }, vec![probe]);
-        let inner = p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Inner }, vec![probe]);
+        let outer =
+            p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Outer }, vec![probe]);
+        let inner =
+            p.add(OperatorSpec::ProjectJoinSide { side: apq_engine::JoinSide::Inner }, vec![probe]);
         let b = p.add(scan("fact", "b", rows), vec![]);
         let bvals = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let b_j = p.add(OperatorSpec::Fetch, vec![outer, bvals]);
@@ -286,7 +295,8 @@ mod tests {
     fn grouped_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(scan("fact", "a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
         let g = p.add(scan("fact", "g", rows), vec![]);
         let b = p.add(scan("fact", "b", rows), vec![]);
         let fetch_g = p.add(OperatorSpec::Fetch, vec![sel, g]);
@@ -360,10 +370,7 @@ mod tests {
 
         // A plan without scans is returned untouched.
         let mut p = Plan::new();
-        let c = p.add(
-            OperatorSpec::CalcScalars { op: BinaryOp::Add },
-            vec![],
-        );
+        let c = p.add(OperatorSpec::CalcScalars { op: BinaryOp::Add }, vec![]);
         // Fix arity by rebuilding a valid two-input scalar plan.
         let mut p2 = Plan::new();
         let a = p2.add(scan("fact", "a", rows), vec![]);

@@ -23,11 +23,7 @@ pub const DEFAULT_WORK_STEALING_PARTITIONS: usize = 128;
 /// Builds the work-stealing-style plan: the serial plan statically
 /// parallelized into `n_partitions` small partitions (typically far more than
 /// the number of worker threads).
-pub fn work_stealing_plan(
-    serial: &Plan,
-    catalog: &Catalog,
-    n_partitions: usize,
-) -> Result<Plan> {
+pub fn work_stealing_plan(serial: &Plan, catalog: &Catalog, n_partitions: usize) -> Result<Plan> {
     heuristic_parallelize(serial, catalog, n_partitions)
 }
 
@@ -56,12 +52,21 @@ mod tests {
     fn serial_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(
-            OperatorSpec::ScanColumn { table: "fact".into(), column: "a".into(), range: RowRange::new(0, rows) },
+            OperatorSpec::ScanColumn {
+                table: "fact".into(),
+                column: "a".into(),
+                range: RowRange::new(0, rows),
+            },
             vec![],
         );
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 100i64) }, vec![a]);
         let b = p.add(
-            OperatorSpec::ScanColumn { table: "fact".into(), column: "b".into(), range: RowRange::new(0, rows) },
+            OperatorSpec::ScanColumn {
+                table: "fact".into(),
+                column: "b".into(),
+                range: RowRange::new(0, rows),
+            },
             vec![],
         );
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);

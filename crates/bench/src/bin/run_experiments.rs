@@ -35,11 +35,8 @@ fn main() {
     } else {
         ExperimentConfig::quick()
     };
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let requested: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let selected: Vec<&str> = if requested.is_empty() {
         EXPERIMENTS.iter().map(|(id, _)| *id).collect()
     } else {

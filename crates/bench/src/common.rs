@@ -10,9 +10,10 @@ use apq_engine::{Engine, EngineConfig, Plan};
 
 use crate::config::ExperimentConfig;
 
-/// Engine sized per the experiment configuration.
+/// Engine sized per the experiment configuration (worker count and
+/// scheduling policy).
 pub fn engine(cfg: &ExperimentConfig) -> Arc<Engine> {
-    Arc::new(Engine::with_workers(cfg.workers))
+    Arc::new(Engine::new(EngineConfig::with_workers(cfg.workers).with_scheduler(cfg.scheduler)))
 }
 
 /// Engine with an explicit worker count (DOP sweeps, "4-socket" variant).
@@ -27,6 +28,7 @@ pub fn four_socket_engine(cfg: &ExperimentConfig) -> Arc<Engine> {
         n_workers: cfg.workers * 2,
         noise: None,
         per_operator_overhead_us: 30,
+        scheduler: cfg.scheduler,
     }))
 }
 
@@ -61,10 +63,16 @@ pub fn time_once_ms(engine: &Engine, catalog: &Arc<Catalog>, plan: &Plan) -> f64
 ///
 /// The minimum (rather than the mean) is reported for isolated runs because
 /// it is the least noise-sensitive statistic on a shared machine; concurrent
-/// experiments use the mean via `measure_under_load`.
+/// experiments use the mean via `measure_under_load`. The plan is shared
+/// once up front so repeated executions skip the per-run deep plan clone.
 pub fn time_plan_ms(engine: &Engine, catalog: &Arc<Catalog>, plan: &Plan, reps: usize) -> f64 {
+    let plan = Arc::new(plan.clone());
     (0..reps.max(1))
-        .map(|_| time_once_ms(engine, catalog, plan))
+        .map(|_| {
+            let start = Instant::now();
+            engine.execute_shared(&plan, catalog).expect("plan execution must succeed");
+            start.elapsed().as_secs_f64() * 1_000.0
+        })
         .fold(f64::INFINITY, f64::min)
 }
 

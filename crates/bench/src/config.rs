@@ -1,5 +1,7 @@
 //! Experiment sizing.
 
+use apq_engine::SchedulerPolicy;
+
 /// Controls data sizes, worker counts and repetition counts of the
 /// experiments. Three presets exist:
 ///
@@ -29,6 +31,8 @@ pub struct ExperimentConfig {
     pub min_partition_rows: usize,
     /// RNG seed for data generation and workload mixing.
     pub seed: u64,
+    /// Task-scheduling policy of the engine's worker pool.
+    pub scheduler: SchedulerPolicy,
 }
 
 fn default_workers() -> usize {
@@ -48,6 +52,7 @@ impl ExperimentConfig {
             adaptive_max_runs: 8,
             min_partition_rows: 512,
             seed: 42,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 
@@ -63,6 +68,7 @@ impl ExperimentConfig {
             adaptive_max_runs: 24,
             min_partition_rows: 1024,
             seed: 42,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 
@@ -78,12 +84,19 @@ impl ExperimentConfig {
             adaptive_max_runs: 48,
             min_partition_rows: 2048,
             seed: 42,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 
     /// Scaled lineitem row count implied by the TPC-H scale factor.
     pub fn tpch_lineitem_rows(&self) -> usize {
         apq_workloads::tpch::TpchScale::new(self.tpch_sf).lineitem_rows()
+    }
+
+    /// Selects the engine's task-scheduling policy (builder style).
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 }
 

@@ -30,12 +30,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
             let serial = select_sweep::plan(&catalog, sel).expect("sweep plan builds");
             let report = adaptive(cfg, &engine, &catalog, &serial);
             for (run, ms) in report.convergence_curve() {
-                table.row(vec![
-                    rows.to_string(),
-                    sel.to_string(),
-                    run.to_string(),
-                    fmt_ms(ms),
-                ]);
+                table.row(vec![rows.to_string(), sel.to_string(), run.to_string(), fmt_ms(ms)]);
             }
         }
     }

@@ -25,11 +25,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
     let catalog = tpch::generate(TpchScale::new(cfg.tpch_sf), cfg.seed);
 
     // Table 4: query classification.
-    let mut classes = ExperimentTable::new(
-        "Table 4",
-        "evaluated TPC-H queries",
-        &["query", "class"],
-    );
+    let mut classes =
+        ExperimentTable::new("Table 4", "evaluated TPC-H queries", &["query", "class"]);
     for q in TpchQuery::all() {
         classes.row(vec![
             q.to_string(),
@@ -94,7 +91,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
         &["query", "HP_ms", "AP_ms", "admission_ms"],
     );
     for (q, serial, hp, report) in &prepared {
-        let hp_m = measure_under_load(&engine, &catalog, hp, cfg.measure_reps).expect("HP measured");
+        let hp_m =
+            measure_under_load(&engine, &catalog, hp, cfg.measure_reps).expect("HP measured");
         let ap_m = measure_under_load(&engine, &catalog, &report.best_plan, cfg.measure_reps)
             .expect("AP measured");
         let (vw_plan, _ticket) = admission.plan_for(serial, &catalog).expect("admission plan");

@@ -21,7 +21,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
     let four_socket = four_socket_engine(cfg);
 
     let mut tables = Vec::new();
-    for (label, engine) in [("Figure 17a (2-socket analogue)", &two_socket), ("Figure 17b (4-socket analogue)", &four_socket)] {
+    for (label, engine) in [
+        ("Figure 17a (2-socket analogue)", &two_socket),
+        ("Figure 17b (4-socket analogue)", &four_socket),
+    ] {
         let workers = engine.n_workers();
         let mut table = ExperimentTable::new(
             label.to_string(),

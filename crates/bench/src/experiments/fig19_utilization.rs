@@ -4,9 +4,17 @@
 //!
 //! The numeric table carries the utilization metrics; the rendered timelines
 //! (one lane per worker, as in the paper's figures) are attached as extra
-//! "tables" with a single text row each so that `run_experiments` prints them.
+//! "tables" with a single text row each so that `run_experiments` prints
+//! them. A final table reports the engine's per-worker scheduler counters
+//! (tasks executed, local-deque hits, steals, injector hits, accumulated
+//! queue wait) for the heuristic plan under **both** scheduling policies —
+//! the work-stealing-vs-shared-FIFO comparison of §4.1.1 at the dispatch
+//! level.
+
+use std::sync::Arc;
 
 use apq_baselines::heuristic_parallelize;
+use apq_engine::{Engine, EngineConfig, SchedulerPolicy};
 use apq_workloads::tpch::{self, queries::q14, TpchScale};
 
 use crate::common::{adaptive, engine};
@@ -49,15 +57,39 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
     for line in ap_exec.profile.timeline(72).lines() {
         ap_trace.row(vec![line.to_string()]);
     }
-    let mut hp_trace = ExperimentTable::new(
-        "Figure 20 (trace)",
-        "heuristic Q14 worker timeline",
-        &["timeline"],
-    );
+    let mut hp_trace =
+        ExperimentTable::new("Figure 20 (trace)", "heuristic Q14 worker timeline", &["timeline"]);
     for line in hp_exec.profile.timeline(72).lines() {
         hp_trace.row(vec![line.to_string()]);
     }
-    vec![metrics, ap_trace, hp_trace]
+
+    // Per-worker dispatch counters of the heuristic plan under both
+    // scheduling policies (fresh engines, so the counters cover exactly one
+    // execution each).
+    let mut counters = ExperimentTable::new(
+        "Figures 19/20 (scheduler counters)",
+        "per-worker dispatch counters of the heuristic Q14 plan, by scheduling policy",
+        &["policy", "worker", "executed", "local", "stolen", "injected", "queue_wait_ms"],
+    );
+    let hp_shared = Arc::new(hp_plan);
+    for policy in SchedulerPolicy::ALL {
+        let probe = Engine::new(EngineConfig::with_workers(workers).with_scheduler(policy));
+        probe.execute_shared(&hp_shared, &catalog).expect("HP executes under both policies");
+        let stats = probe.scheduler_stats();
+        for (w, ws) in stats.workers.iter().enumerate() {
+            counters.row(vec![
+                stats.policy.to_string(),
+                w.to_string(),
+                ws.executed.to_string(),
+                ws.local_hits.to_string(),
+                ws.steals.to_string(),
+                ws.injector_hits.to_string(),
+                format!("{:.3}", ws.queue_wait_us as f64 / 1000.0),
+            ]);
+        }
+    }
+
+    vec![metrics, ap_trace, hp_trace, counters]
 }
 
 #[cfg(test)]
@@ -65,10 +97,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn produces_metrics_and_two_traces() {
+    fn produces_metrics_two_traces_and_scheduler_counters() {
         let cfg = ExperimentConfig::smoke();
         let tables = run(&cfg);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         assert_eq!(tables[0].len(), 2);
         // One header line plus one lane per worker.
         assert_eq!(tables[1].len(), cfg.workers + 1);
@@ -77,5 +109,18 @@ mod tests {
         let ap_ops: usize = tables[0].rows[0][1].parse().unwrap();
         let hp_ops: usize = tables[0].rows[1][1].parse().unwrap();
         assert!(hp_ops >= ap_ops);
+        // Counter table: one row per worker per policy, both plans fully
+        // dispatched under each policy.
+        let counters = &tables[3];
+        assert_eq!(counters.len(), 2 * cfg.workers);
+        for policy in ["global-queue", "work-stealing"] {
+            let executed: u64 = counters
+                .rows
+                .iter()
+                .filter(|r| r[0] == policy)
+                .map(|r| r[2].parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(executed, hp_ops as u64, "{policy}: dispatch count mismatch");
+        }
     }
 }

@@ -34,9 +34,7 @@ impl Catalog {
 
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| ColumnarError::UnknownTable(name.to_string()))
+        self.tables.get(name).ok_or_else(|| ColumnarError::UnknownTable(name.to_string()))
     }
 
     /// True when the catalog holds a table of that name.
@@ -68,10 +66,7 @@ impl Catalog {
     /// heuristic parallelizer which "uses ... the largest table size to
     /// identify the number of partitions" (paper §4.2.1).
     pub fn largest_table(&self) -> Option<(&str, usize)> {
-        self.tables
-            .values()
-            .max_by_key(|t| t.row_count())
-            .map(|t| (t.name(), t.row_count()))
+        self.tables.values().max_by_key(|t| t.row_count()).map(|t| (t.name(), t.row_count()))
     }
 }
 
@@ -81,10 +76,7 @@ mod tests {
     use crate::table::TableBuilder;
 
     fn table(name: &str, rows: usize) -> Arc<Table> {
-        TableBuilder::new(name)
-            .i64_column("id", (0..rows as i64).collect())
-            .build()
-            .unwrap()
+        TableBuilder::new(name).i64_column("id", (0..rows as i64).collect()).build().unwrap()
     }
 
     #[test]
@@ -97,10 +89,7 @@ mod tests {
         assert!(c.has_table("part"));
         assert!(!c.has_table("orders"));
         assert_eq!(c.table("lineitem").unwrap().row_count(), 100);
-        assert!(matches!(
-            c.table("orders").unwrap_err(),
-            ColumnarError::UnknownTable(_)
-        ));
+        assert!(matches!(c.table("orders").unwrap_err(), ColumnarError::UnknownTable(_)));
         assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["lineitem", "part"]);
         assert!(c.byte_size() > 0);
     }

@@ -185,12 +185,8 @@ impl Column {
     /// Returns a zero-copy sub-view of `len` rows starting at `start`
     /// (relative to this view).
     pub fn slice(&self, start: usize, len: usize) -> Result<Column> {
-        if start.checked_add(len).map_or(true, |end| end > self.len) {
-            return Err(ColumnarError::InvalidSlice {
-                start,
-                len,
-                column_len: self.len,
-            });
+        if start.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(ColumnarError::InvalidSlice { start, len, column_len: self.len });
         }
         Ok(Column {
             data: Arc::clone(&self.data),
@@ -266,10 +262,7 @@ impl Column {
     }
 
     fn type_error(&self, expected: &'static str, found: &ColumnData) -> ColumnarError {
-        ColumnarError::TypeMismatch {
-            expected,
-            found: found.data_type().name(),
-        }
+        ColumnarError::TypeMismatch { expected, found: found.data_type().name() }
     }
 
     /// Scalar value of visible row `i`.
@@ -316,21 +309,16 @@ impl Column {
         Ok(self.gather_positions_unchecked(positions.iter().copied()))
     }
 
-    fn gather_positions_unchecked<I: Iterator<Item = usize> + Clone>(&self, positions: I) -> Column {
+    fn gather_positions_unchecked<I: Iterator<Item = usize> + Clone>(
+        &self,
+        positions: I,
+    ) -> Column {
         let off = self.offset;
         match self.data.as_ref() {
-            ColumnData::Int64(v) => {
-                Column::from_i64(positions.map(|p| v[off + p]).collect())
-            }
-            ColumnData::Int32(v) => {
-                Column::from_i32(positions.map(|p| v[off + p]).collect())
-            }
-            ColumnData::Float64(v) => {
-                Column::from_f64(positions.map(|p| v[off + p]).collect())
-            }
-            ColumnData::Bool(v) => {
-                Column::from_bool(positions.map(|p| v[off + p]).collect())
-            }
+            ColumnData::Int64(v) => Column::from_i64(positions.map(|p| v[off + p]).collect()),
+            ColumnData::Int32(v) => Column::from_i32(positions.map(|p| v[off + p]).collect()),
+            ColumnData::Float64(v) => Column::from_f64(positions.map(|p| v[off + p]).collect()),
+            ColumnData::Bool(v) => Column::from_bool(positions.map(|p| v[off + p]).collect()),
             ColumnData::Str(s) => {
                 let abs: Vec<usize> = positions.map(|p| off + p).collect();
                 Column::from_string_column(s.gather(&abs))
@@ -441,10 +429,7 @@ mod tests {
 
         // Out of bounds slice is rejected.
         assert!(c.slice(95, 10).is_err());
-        assert!(matches!(
-            c.slice(95, 10).unwrap_err(),
-            ColumnarError::InvalidSlice { .. }
-        ));
+        assert!(matches!(c.slice(95, 10).unwrap_err(), ColumnarError::InvalidSlice { .. }));
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub fn skewed_column(n: usize, seed: u64) -> Vec<i64> {
         } else {
             cluster_rows
         };
-        out.extend(std::iter::repeat(value).take(rows));
+        out.extend(std::iter::repeat_n(value, rows));
     }
     debug_assert_eq!(out.len(), n);
     out
@@ -129,9 +129,7 @@ pub fn dates(n: usize, start_day: i32, end_day: i32, seed: u64) -> Vec<i32> {
 pub fn pick_strings(n: usize, choices: &[&str], seed: u64) -> Vec<String> {
     assert!(!choices.is_empty(), "need at least one choice");
     let mut r = rng(seed);
-    (0..n)
-        .map(|_| choices[r.gen_range(0..choices.len())].to_string())
-        .collect()
+    (0..n).map(|_| choices[r.gen_range(0..choices.len())].to_string()).collect()
 }
 
 /// `n` strings picked from `choices` with Zipf-skewed frequencies.

@@ -93,10 +93,9 @@ impl fmt::Display for ColumnarError {
             ColumnarError::MisalignedOid { oid, lo, hi } => {
                 write!(f, "oid {oid} outside aligned slice [{lo}, {hi})")
             }
-            ColumnarError::RaggedTable { column, len, expected } => write!(
-                f,
-                "column '{column}' has {len} rows but the table has {expected}"
-            ),
+            ColumnarError::RaggedTable { column, len, expected } => {
+                write!(f, "column '{column}' has {len} rows but the table has {expected}")
+            }
         }
     }
 }

@@ -171,10 +171,7 @@ pub struct PartitionSet {
 impl PartitionSet {
     /// A single partition covering the whole domain (the serial plan's view).
     pub fn single(total_rows: usize) -> Self {
-        PartitionSet {
-            total_rows,
-            ranges: vec![RowRange::new(0, total_rows)],
-        }
+        PartitionSet { total_rows, ranges: vec![RowRange::new(0, total_rows)] }
     }
 
     /// `n` near-equal static partitions (heuristic parallelization).
@@ -184,11 +181,7 @@ impl PartitionSet {
             .into_iter()
             .filter(|r| !r.is_empty() || total_rows == 0)
             .collect::<Vec<_>>();
-        let ranges = if ranges.is_empty() {
-            vec![RowRange::new(0, total_rows)]
-        } else {
-            ranges
-        };
+        let ranges = if ranges.is_empty() { vec![RowRange::new(0, total_rows)] } else { ranges };
         PartitionSet { total_rows, ranges }
     }
 
@@ -245,10 +238,10 @@ impl PartitionSet {
     /// Returns the indices of the two new partitions. Splitting a
     /// single-row partition is rejected.
     pub fn split(&mut self, i: usize) -> Result<(usize, usize)> {
-        let range = *self.ranges.get(i).ok_or(ColumnarError::OutOfBounds {
-            index: i,
-            len: self.ranges.len(),
-        })?;
+        let range = *self
+            .ranges
+            .get(i)
+            .ok_or(ColumnarError::OutOfBounds { index: i, len: self.ranges.len() })?;
         if range.len() < 2 {
             return Err(ColumnarError::InvalidPartitioning(format!(
                 "partition {i} covering [{}, {}) is too small to split",
@@ -451,31 +444,21 @@ mod tests {
 
     #[test]
     fn from_ranges_validates() {
-        assert!(PartitionSet::from_ranges(
-            10,
-            vec![RowRange::new(0, 5), RowRange::new(5, 10)]
-        )
-        .is_ok());
+        assert!(
+            PartitionSet::from_ranges(10, vec![RowRange::new(0, 5), RowRange::new(5, 10)]).is_ok()
+        );
         // Gap.
-        assert!(PartitionSet::from_ranges(
-            10,
-            vec![RowRange::new(0, 4), RowRange::new(5, 10)]
-        )
-        .is_err());
+        assert!(
+            PartitionSet::from_ranges(10, vec![RowRange::new(0, 4), RowRange::new(5, 10)]).is_err()
+        );
         // Overlap.
-        assert!(PartitionSet::from_ranges(
-            10,
-            vec![RowRange::new(0, 6), RowRange::new(5, 10)]
-        )
-        .is_err());
+        assert!(
+            PartitionSet::from_ranges(10, vec![RowRange::new(0, 6), RowRange::new(5, 10)]).is_err()
+        );
         // Wrong end.
         assert!(PartitionSet::from_ranges(10, vec![RowRange::new(0, 9)]).is_err());
         // Wrong start.
-        assert!(PartitionSet::from_ranges(
-            10,
-            vec![RowRange::new(1, 10)]
-        )
-        .is_err());
+        assert!(PartitionSet::from_ranges(10, vec![RowRange::new(1, 10)]).is_err());
         // Empty partition inside.
         assert!(PartitionSet::from_ranges(
             10,

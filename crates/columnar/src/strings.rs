@@ -43,10 +43,7 @@ impl StringColumn {
     /// # Panics
     /// Panics if any code is out of range for the dictionary.
     pub fn from_codes(codes: Vec<u32>, dict: Arc<Vec<String>>) -> Self {
-        assert!(
-            codes.iter().all(|&c| (c as usize) < dict.len()),
-            "dictionary code out of range"
-        );
+        assert!(codes.iter().all(|&c| (c as usize) < dict.len()), "dictionary code out of range");
         StringColumn { codes, dict }
     }
 

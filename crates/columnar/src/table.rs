@@ -123,18 +123,8 @@ impl TableBuilder {
                 });
             }
         }
-        let index = self
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, (n, _))| (n.clone(), i))
-            .collect();
-        Ok(Arc::new(Table {
-            name: self.name,
-            columns: self.columns,
-            index,
-            row_count,
-        }))
+        let index = self.columns.iter().enumerate().map(|(i, (n, _))| (n.clone(), i)).collect();
+        Ok(Arc::new(Table { name: self.name, columns: self.columns, index, row_count }))
     }
 }
 

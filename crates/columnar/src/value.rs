@@ -219,19 +219,13 @@ mod tests {
 
     #[test]
     fn total_order_within_and_across_types() {
-        assert_eq!(
-            ScalarValue::I64(1).total_cmp(&ScalarValue::I64(2)),
-            Ordering::Less
-        );
+        assert_eq!(ScalarValue::I64(1).total_cmp(&ScalarValue::I64(2)), Ordering::Less);
         assert_eq!(
             ScalarValue::Str("b".into()).total_cmp(&ScalarValue::Str("a".into())),
             Ordering::Greater
         );
         // Cross-type ordering is by type rank and is stable.
-        assert_eq!(
-            ScalarValue::Bool(true).total_cmp(&ScalarValue::I64(0)),
-            Ordering::Less
-        );
+        assert_eq!(ScalarValue::Bool(true).total_cmp(&ScalarValue::I64(0)), Ordering::Less);
         // NaN is ordered (total order).
         assert_eq!(
             ScalarValue::F64(f64::NAN).total_cmp(&ScalarValue::F64(f64::NAN)),

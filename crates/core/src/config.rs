@@ -34,6 +34,11 @@ pub struct AdaptiveConfig {
     /// treated as a noise peak (§3.3.3) and ignored by the credit/debit
     /// bookkeeping.
     pub outlier_factor: f64,
+    /// How strongly the profiler's queue-wait share discounts a worsening
+    /// run's debit (`0.0` = ignore contention, the paper's exact algorithm;
+    /// `1.0` = a run that was pure queue wait contributes no debit at all).
+    /// See `ConvergenceState::record_run_contended`.
+    pub contention_discount: f64,
     /// Re-execute the result comparison against the serial plan after every
     /// run (used by tests; disabled in benchmarks).
     pub verify_results: bool,
@@ -49,6 +54,7 @@ impl Default for AdaptiveConfig {
             min_partition_rows: 1024,
             max_runs: 256,
             outlier_factor: 1.0,
+            contention_discount: 0.5,
             verify_results: false,
         }
     }
@@ -84,6 +90,12 @@ impl AdaptiveConfig {
         self
     }
 
+    /// Sets the contention discount (clamped to `[0, 1]`).
+    pub fn with_contention_discount(mut self, discount: f64) -> Self {
+        self.contention_discount = discount.clamp(0.0, 1.0);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.n_cores == 0 {
@@ -110,6 +122,12 @@ impl AdaptiveConfig {
             return Err(CoreError::InvalidConfig(
                 "outlier_factor below 1.0 would flag improving runs as outliers".into(),
             ));
+        }
+        if !(0.0..=1.0).contains(&self.contention_discount) {
+            return Err(CoreError::InvalidConfig(format!(
+                "contention_discount {} must lie in [0, 1]",
+                self.contention_discount
+            )));
         }
         Ok(())
     }
@@ -177,6 +195,22 @@ mod tests {
         let mut c = AdaptiveConfig::for_cores(4);
         c.outlier_factor = 0.5;
         assert!(c.validate().is_err());
+        let mut c = AdaptiveConfig::for_cores(4);
+        c.contention_discount = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn contention_discount_builder_clamps() {
+        assert_eq!(
+            AdaptiveConfig::for_cores(2).with_contention_discount(2.0).contention_discount,
+            1.0
+        );
+        assert_eq!(
+            AdaptiveConfig::for_cores(2).with_contention_discount(-1.0).contention_discount,
+            0.0
+        );
+        assert!((AdaptiveConfig::default().contention_discount - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -60,14 +60,14 @@ pub fn ranked_candidates(
                     });
                 }
             }
-            spec if spec.is_parallelizable() => {
-                if can_split(plan, profile, op.node, config.min_partition_rows) {
-                    out.push(Candidate {
-                        node: op.node,
-                        duration_us: op.duration_us,
-                        action: TargetAction::CloneOverPartitions,
-                    });
-                }
+            spec if spec.is_parallelizable()
+                && can_split(plan, profile, op.node, config.min_partition_rows) =>
+            {
+                out.push(Candidate {
+                    node: op.node,
+                    duration_us: op.duration_us,
+                    action: TargetAction::CloneOverPartitions,
+                });
             }
             _ => {}
         }
@@ -104,16 +104,15 @@ mod tests {
         QueryProfile {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
+            concurrent_peers: 0,
             operators: costs
                 .iter()
                 .map(|&(node, duration_us, rows_out)| OperatorProfile {
                     node,
-                    name: plan
-                        .node(node)
-                        .map(|n| n.spec.name())
-                        .unwrap_or("dead"),
+                    name: plan.node(node).map(|n| n.spec.name()).unwrap_or("dead"),
                     start_us: 0,
                     duration_us,
+                    queue_wait_us: 0,
                     worker: 0,
                     rows_out,
                     bytes_out: rows_out * 8,
@@ -126,7 +125,8 @@ mod tests {
     fn ranks_by_execution_time_and_filters_unmutable_operators() {
         let mut p = Plan::new();
         let a = p.add(scan(100_000), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         let b = p.add(scan(100_000), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -137,7 +137,13 @@ mod tests {
         // is not parallelizable either; select > fetch among the rest.
         let prof = profile(
             &p,
-            &[(a, 5_000, 100_000), (sel, 3_000, 40_000), (fetch, 2_000, 40_000), (agg, 100, 1), (fin, 5_000, 1)],
+            &[
+                (a, 5_000, 100_000),
+                (sel, 3_000, 40_000),
+                (fetch, 2_000, 40_000),
+                (agg, 100, 1),
+                (fin, 5_000, 1),
+            ],
         );
         let ranked = ranked_candidates(&p, &prof, &cfg);
         assert_eq!(ranked.len(), 3);
@@ -152,7 +158,8 @@ mod tests {
     fn small_partitions_drop_out_of_the_ranking() {
         let mut p = Plan::new();
         let a = p.add(scan(100), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.set_root(sel);
         let prof = profile(&p, &[(sel, 1_000, 50)]);
         let cfg = AdaptiveConfig::for_cores(4); // min_partition_rows = 1024 > 100/2
@@ -180,16 +187,15 @@ mod tests {
 
         let mut narrow = cfg.clone();
         narrow.union_input_threshold = 3;
-        assert!(ranked_candidates(&p, &prof, &narrow)
-            .iter()
-            .all(|c| c.node != union));
+        assert!(ranked_candidates(&p, &prof, &narrow).iter().all(|c| c.node != union));
     }
 
     #[test]
     fn dead_nodes_are_ignored() {
         let mut p = Plan::new();
         let a = p.add(scan(10_000), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.set_root(sel);
         let prof = profile(&p, &[(sel, 1_000, 5_000), (77, 9_999, 5_000)]);
         let cfg = AdaptiveConfig::for_cores(4).with_min_partition_rows(10);

@@ -28,9 +28,7 @@ use crate::mutation::{MutationKind, MutationOutcome};
 pub(crate) fn is_combiner(spec: &OperatorSpec) -> bool {
     matches!(
         spec,
-        OperatorSpec::ExchangeUnion
-            | OperatorSpec::FinalizeAgg { .. }
-            | OperatorSpec::MergeGrouped
+        OperatorSpec::ExchangeUnion | OperatorSpec::FinalizeAgg { .. } | OperatorSpec::MergeGrouped
     )
 }
 
@@ -53,9 +51,7 @@ pub fn clone_over_partitions(
     // clones would mis-align (paper Fig. 9 hazards).
     let aligned = aligned_inputs(plan, target)?;
     if aligned.is_empty() {
-        return Err(CoreError::Mutation(format!(
-            "node {target} has no partitionable input"
-        )));
+        return Err(CoreError::Mutation(format!("node {target} has no partitionable input")));
     }
     let mut lengths = Vec::with_capacity(aligned.len());
     for &input in &aligned {
@@ -126,12 +122,7 @@ pub fn clone_over_partitions(
         CombinerKind::FinalizeAgg | CombinerKind::MergeGrouped => MutationKind::Advanced,
         CombinerKind::NotParallelizable => unreachable!("rejected above"),
     };
-    Ok(MutationOutcome {
-        kind,
-        target,
-        clones: vec![clone_first, clone_second],
-        combiner,
-    })
+    Ok(MutationOutcome { kind, target, clones: vec![clone_first, clone_second], combiner })
 }
 
 #[cfg(test)]
@@ -154,6 +145,7 @@ mod tests {
         QueryProfile {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
+            concurrent_peers: 0,
             operators: plan
                 .node_ids()
                 .into_iter()
@@ -162,6 +154,7 @@ mod tests {
                     name: plan.node(node).unwrap().spec.name(),
                     start_us: 0,
                     duration_us: 10,
+                    queue_wait_us: 0,
                     worker: 0,
                     rows_out: rows,
                     bytes_out: rows * 8,
@@ -174,7 +167,8 @@ mod tests {
     fn filter_sum_plan(rows: usize) -> (Plan, NodeId, NodeId, NodeId) {
         let mut p = Plan::new();
         let a = p.add(scan("a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
         let b = p.add(scan("b", rows), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -296,7 +290,8 @@ mod tests {
     fn mutation_of_root_operator_moves_the_root() {
         let mut p = Plan::new();
         let a = p.add(scan("a", 100), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
         p.set_root(sel);
         let prof = profile_for(&p, 50);
         let outcome = clone_over_partitions(&mut p, &prof, sel).unwrap();
@@ -322,6 +317,7 @@ mod tests {
         let empty_prof = QueryProfile {
             wall_time: Duration::from_micros(1),
             n_workers: 1,
+            concurrent_peers: 0,
             operators: vec![],
         };
         assert!(clone_over_partitions(&mut p2, &empty_prof, fetch2).is_err());

@@ -40,9 +40,7 @@ pub fn propagate_union(
 ) -> Result<Option<MutationOutcome>> {
     let union_node = plan.node(union_id).map_err(CoreError::from)?.clone();
     if !matches!(union_node.spec, OperatorSpec::ExchangeUnion) {
-        return Err(CoreError::Mutation(format!(
-            "node {union_id} is not an exchange union"
-        )));
+        return Err(CoreError::Mutation(format!("node {union_id} is not an exchange union")));
     }
     // Plan-explosion guard.
     if union_node.inputs.len() > config.union_input_threshold {
@@ -58,8 +56,7 @@ pub fn propagate_union(
     // Union feeding another combiner: simply inline the inputs ("the
     // exchange union operator is removed" without cloning anything).
     if is_combiner(&consumer.spec) {
-        plan.splice_input(consumer_id, union_id, &union_node.inputs)
-            .map_err(CoreError::from)?;
+        plan.splice_input(consumer_id, union_id, &union_node.inputs).map_err(CoreError::from)?;
         plan.remove(union_id).map_err(CoreError::from)?;
         return Ok(Some(MutationOutcome {
             kind: MutationKind::Medium,
@@ -164,12 +161,7 @@ pub fn propagate_union(
     plan.remove(consumer_id).map_err(CoreError::from)?;
     plan.remove(union_id).map_err(CoreError::from)?;
 
-    Ok(Some(MutationOutcome {
-        kind: MutationKind::Medium,
-        target: union_id,
-        clones,
-        combiner,
-    }))
+    Ok(Some(MutationOutcome { kind: MutationKind::Medium, target: union_id, clones, combiner }))
 }
 
 #[cfg(test)]
@@ -192,6 +184,7 @@ mod tests {
         QueryProfile {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
+            concurrent_peers: 0,
             operators: rows
                 .iter()
                 .map(|&(node, rows_out)| OperatorProfile {
@@ -199,6 +192,7 @@ mod tests {
                     name: "x",
                     start_us: 0,
                     duration_us: 10,
+                    queue_wait_us: 0,
                     worker: 0,
                     rows_out,
                     bytes_out: rows_out * 8,
@@ -216,7 +210,11 @@ mod tests {
         let mut p = Plan::new();
         let a0 = p.add(scan("a", 500), vec![]);
         let a1 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(500, 1000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(500, 1000),
+            },
             vec![],
         );
         let pred = Predicate::cmp(CmpOp::Lt, 100i64);
@@ -261,7 +259,11 @@ mod tests {
         let mut p = Plan::new();
         let a0 = p.add(scan("a", 500), vec![]);
         let a1 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(500, 1000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(500, 1000),
+            },
             vec![],
         );
         let f0 = p.add(OperatorSpec::Fetch, vec![a0, a0]); // placeholder value columns
@@ -286,7 +288,7 @@ mod tests {
         let prof = profile_with(&[(s0, 60), (s1, 40), (union, 100), (fetch, 100)]);
         let mut cfg = AdaptiveConfig::for_cores(4);
         cfg.union_input_threshold = 1; // pretend the union is already too wide
-        // Validation would reject threshold 1, but propagate_union only reads it.
+                                       // Validation would reject threshold 1, but propagate_union only reads it.
         assert!(propagate_union(&mut p, &prof, union, &cfg).unwrap().is_none());
         assert!(p.contains(union));
     }
@@ -318,7 +320,11 @@ mod tests {
         let mut p = Plan::new();
         let a0 = p.add(scan("a", 500), vec![]);
         let a1 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(500, 1000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(500, 1000),
+            },
             vec![],
         );
         let pred = Predicate::cmp(CmpOp::Lt, 100i64);
@@ -344,13 +350,21 @@ mod tests {
         let mut p = Plan::new();
         let a0 = p.add(scan("a", 600), vec![]);
         let a1 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(600, 1000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(600, 1000),
+            },
             vec![],
         );
         let union = p.add(OperatorSpec::ExchangeUnion, vec![a0, a1]);
         let other = p.add(scan("b", 1000), vec![]);
         let calc = p.add(
-            OperatorSpec::Calc { op: apq_operators::BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            OperatorSpec::Calc {
+                op: apq_operators::BinaryOp::Mul,
+                left_scalar: None,
+                right_scalar: None,
+            },
             vec![union, other],
         );
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![calc]);

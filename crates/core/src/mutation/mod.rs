@@ -77,15 +77,11 @@ pub fn mutate_most_expensive(
     for candidate in ranked_candidates(plan, profile, config) {
         let attempt = match candidate.action {
             TargetAction::CloneOverPartitions => {
-                match clone_over_partitions(plan, profile, candidate.node) {
-                    Ok(outcome) => Some(outcome),
-                    // Structural impossibility: try the next most expensive one.
-                    Err(_) => None,
-                }
+                // A failure here is a structural impossibility: try the next
+                // most expensive candidate.
+                clone_over_partitions(plan, profile, candidate.node).ok()
             }
-            TargetAction::PropagateUnion => {
-                propagate_union(plan, profile, candidate.node, config)?
-            }
+            TargetAction::PropagateUnion => propagate_union(plan, profile, candidate.node, config)?,
         };
         if let Some(outcome) = attempt {
             return Ok(Some(outcome));
@@ -114,7 +110,8 @@ mod tests {
     fn plan_filter_sum(rows: usize) -> (Plan, NodeId, NodeId) {
         let mut p = Plan::new();
         let a = p.add(scan("a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
         let b = p.add(scan("b", rows), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -127,6 +124,7 @@ mod tests {
         QueryProfile {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
+            concurrent_peers: 0,
             operators: costs
                 .iter()
                 .map(|&(node, duration_us, rows_out)| OperatorProfile {
@@ -134,6 +132,7 @@ mod tests {
                     name: plan.node(node).unwrap().spec.name(),
                     start_us: 0,
                     duration_us,
+                    queue_wait_us: 0,
                     worker: 0,
                     rows_out,
                     bytes_out: rows_out * 8,
@@ -145,7 +144,8 @@ mod tests {
     #[test]
     fn mutates_the_most_expensive_operator_first() {
         let (mut p, sel, fetch) = plan_filter_sum(10_000);
-        let prof = profile(&p, &[(0, 1, 10_000), (sel, 900, 5_000), (fetch, 100, 5_000), (4, 10, 1)]);
+        let prof =
+            profile(&p, &[(0, 1, 10_000), (sel, 900, 5_000), (fetch, 100, 5_000), (4, 10, 1)]);
         let cfg = AdaptiveConfig::for_cores(4).with_min_partition_rows(16);
         let outcome = mutate_most_expensive(&mut p, &prof, &cfg).unwrap().unwrap();
         assert_eq!(outcome.kind, MutationKind::Basic);

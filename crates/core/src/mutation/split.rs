@@ -40,7 +40,7 @@ pub fn aligned_inputs(plan: &Plan, id: NodeId) -> Result<Vec<NodeId>> {
 pub fn can_split(plan: &Plan, profile: &QueryProfile, id: NodeId, min_rows: usize) -> bool {
     match aligned_inputs(plan, id) {
         Ok(inputs) if !inputs.is_empty() => inputs.iter().all(|&input| {
-            output_len(plan, profile, input).map_or(false, |len| len >= 2 * min_rows.max(1))
+            output_len(plan, profile, input).is_some_and(|len| len >= 2 * min_rows.max(1))
         }),
         _ => false,
     }
@@ -73,8 +73,7 @@ pub fn split_input(
                 OperatorSpec::ScanColumn { table: table.clone(), column: column.clone(), range: a },
                 vec![],
             );
-            let second =
-                plan.add(OperatorSpec::ScanColumn { table, column, range: b }, vec![]);
+            let second = plan.add(OperatorSpec::ScanColumn { table, column, range: b }, vec![]);
             Ok((first, second))
         }
         OperatorSpec::SlicePart { start, len } => {
@@ -143,6 +142,7 @@ mod tests {
         QueryProfile {
             wall_time: Duration::from_micros(100),
             n_workers: 2,
+            concurrent_peers: 0,
             operators: rows
                 .iter()
                 .map(|&(node, rows_out)| OperatorProfile {
@@ -150,6 +150,7 @@ mod tests {
                     name: "select",
                     start_us: 0,
                     duration_us: 10,
+                    queue_wait_us: 0,
                     worker: 0,
                     rows_out,
                     bytes_out: rows_out * 8,
@@ -162,7 +163,8 @@ mod tests {
     fn output_len_prefers_static_info() {
         let mut p = Plan::new();
         let s = p.add(scan(100), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![s]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![s]);
         let slice = p.add(OperatorSpec::SlicePart { start: 10, len: 40 }, vec![sel]);
         p.set_root(slice);
         let prof = profile_with(&[(sel, 37)]);
@@ -176,7 +178,8 @@ mod tests {
     fn aligned_inputs_respect_operator_metadata() {
         let mut p = Plan::new();
         let a = p.add(scan(100), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         let b = p.add(scan(100), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -187,7 +190,11 @@ mod tests {
         assert_eq!(aligned_inputs(&p, agg).unwrap(), vec![fetch]);
         // Calc with the same node on both sides deduplicates.
         let calc = p.add(
-            OperatorSpec::Calc { op: apq_operators::BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            OperatorSpec::Calc {
+                op: apq_operators::BinaryOp::Mul,
+                left_scalar: None,
+                right_scalar: None,
+            },
             vec![fetch, fetch],
         );
         assert_eq!(aligned_inputs(&p, calc).unwrap(), vec![fetch]);
@@ -197,7 +204,8 @@ mod tests {
     fn can_split_honours_minimum_partition_size() {
         let mut p = Plan::new();
         let a = p.add(scan(100), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.set_root(sel);
         let prof = profile_with(&[(sel, 50)]);
         assert!(can_split(&p, &prof, sel, 50));
@@ -210,7 +218,8 @@ mod tests {
     fn splitting_scans_slices_and_intermediates() {
         let mut p = Plan::new();
         let a = p.add(scan(101), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.set_root(sel);
         let prof = profile_with(&[(sel, 33)]);
 
@@ -230,7 +239,10 @@ mod tests {
         // Intermediate split: SlicePart [0,17) and [17,33) over the select.
         let (i1, i2) = split_input(&mut p, &prof, sel).unwrap();
         match (&p.node(i1).unwrap().spec, &p.node(i2).unwrap().spec) {
-            (OperatorSpec::SlicePart { start: 0, len: 17 }, OperatorSpec::SlicePart { start: 17, len: 16 }) => {}
+            (
+                OperatorSpec::SlicePart { start: 0, len: 17 },
+                OperatorSpec::SlicePart { start: 17, len: 16 },
+            ) => {}
             other => panic!("unexpected specs {other:?}"),
         }
         assert_eq!(p.node(i1).unwrap().inputs, vec![sel]);
@@ -238,7 +250,10 @@ mod tests {
         // Slice split: halves of an existing window, same producer.
         let (j1, j2) = split_input(&mut p, &prof, i1).unwrap();
         match (&p.node(j1).unwrap().spec, &p.node(j2).unwrap().spec) {
-            (OperatorSpec::SlicePart { start: 0, len: 9 }, OperatorSpec::SlicePart { start: 9, len: 8 }) => {}
+            (
+                OperatorSpec::SlicePart { start: 0, len: 9 },
+                OperatorSpec::SlicePart { start: 9, len: 8 },
+            ) => {}
             other => panic!("unexpected specs {other:?}"),
         }
         assert_eq!(p.node(j1).unwrap().inputs, vec![sel]);
@@ -248,7 +263,8 @@ mod tests {
     fn splitting_degenerate_inputs_fails() {
         let mut p = Plan::new();
         let tiny = p.add(scan(1), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![tiny]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![tiny]);
         p.set_root(sel);
         let prof = profile_with(&[(sel, 1)]);
         assert!(split_input(&mut p, &prof, tiny).is_err());
@@ -263,7 +279,8 @@ mod tests {
         let mut p = Plan::new();
         let a = p.add(scan(10), vec![]);
         let b = p.add(scan(10), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.set_root(sel);
         assert!(!remove_if_orphan(&mut p, a)); // still consumed
         assert!(!remove_if_orphan(&mut p, sel)); // root

@@ -104,16 +104,23 @@ impl AdaptiveOptimizer {
                 return Err(CoreError::ResultMismatch { run });
             }
             let exec_us = exec.profile.wall_us().max(1);
-            let obs = convergence.record_run(exec_us);
+            // Feed the profiler's queue-wait share into the balance: runs
+            // slowed down by scheduler interference (concurrent queries on
+            // the shared pool) are debited less than runs whose operators
+            // were genuinely slow. With no concurrent peers, all queue wait
+            // is self-inflicted (the mutation created more ready tasks than
+            // workers) and must keep its full debit weight — discounting it
+            // would reward exactly the over-partitioned plans the algorithm
+            // is trying to abandon.
+            let wait_share = if exec.profile.concurrent_peers > 0 {
+                exec.profile.queue_wait_share()
+            } else {
+                0.0
+            };
+            let obs = convergence.record_run_contended(exec_us, wait_share);
             history.record(obs.run, &plan, exec_us);
-            let record = run_record(
-                obs.run,
-                &plan,
-                &exec,
-                Some(mutation.kind),
-                obs.is_outlier,
-                obs.balance,
-            );
+            let record =
+                run_record(obs.run, &plan, &exec, Some(mutation.kind), obs.is_outlier, obs.balance);
             observer(&record);
             records.push(record);
             last_profile = exec.profile;
@@ -152,6 +159,7 @@ fn run_record(
         join_ops: plan.count_of("join"),
         multi_core_utilization: exec.profile.multi_core_utilization(),
         parallelism_usage: exec.profile.parallelism_usage(),
+        queue_wait_us: exec.profile.total_queue_wait_us(),
         is_outlier,
         balance,
     }
@@ -181,18 +189,27 @@ mod tests {
     }
 
     fn scan(column: &str, rows: usize) -> OperatorSpec {
-        OperatorSpec::ScanColumn { table: "t".into(), column: column.into(), range: RowRange::new(0, rows) }
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: column.into(),
+            range: RowRange::new(0, rows),
+        }
     }
 
     /// Serial plan: sum(b * 2) over rows where a < 300.
     fn serial_plan(rows: usize) -> Plan {
         let mut p = Plan::new();
         let a = p.add(scan("a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 300i64) }, vec![a]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 300i64) }, vec![a]);
         let b = p.add(scan("b", rows), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let calc = p.add(
-            OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: Some(ScalarValue::I64(2)) },
+            OperatorSpec::Calc {
+                op: BinaryOp::Mul,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(2)),
+            },
             vec![fetch],
         );
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![calc]);
@@ -264,9 +281,8 @@ mod tests {
         let cat = catalog(rows);
         let engine = Engine::with_workers(2);
         // Minimum partition size so large that nothing can ever be split.
-        let config = AdaptiveConfig::for_cores(2)
-            .with_min_partition_rows(1_000_000)
-            .with_max_runs(10);
+        let config =
+            AdaptiveConfig::for_cores(2).with_min_partition_rows(1_000_000).with_max_runs(10);
         let optimizer = AdaptiveOptimizer::new(config);
         let report = optimizer.optimize(&engine, &cat, &serial_plan(rows)).unwrap();
         assert_eq!(report.total_runs, 0);

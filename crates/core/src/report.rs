@@ -25,6 +25,9 @@ pub struct AdaptiveRunRecord {
     pub multi_core_utilization: f64,
     /// Parallelism usage of the run (busy time / (wall × workers)).
     pub parallelism_usage: f64,
+    /// Total time the run's operators spent queued before execution,
+    /// microseconds (scheduler-interference signal).
+    pub queue_wait_us: u64,
     /// True when the convergence algorithm classified the run as a noise peak.
     pub is_outlier: bool,
     /// Convergence balance (credit − debit) after the run.
@@ -116,7 +119,11 @@ mod tests {
     fn tiny_plan() -> Plan {
         let mut p = Plan::new();
         let s = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(0, 10) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(0, 10),
+            },
             vec![],
         );
         p.set_root(s);
@@ -133,6 +140,7 @@ mod tests {
             join_ops: 0,
             multi_core_utilization: 0.5,
             parallelism_usage: 0.3,
+            queue_wait_us: 40,
             is_outlier: false,
             balance: 1.0,
         }

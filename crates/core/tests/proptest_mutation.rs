@@ -31,18 +31,27 @@ fn catalog(rows: usize, seed: u64) -> Arc<Catalog> {
 }
 
 fn scan(column: &str, rows: usize) -> OperatorSpec {
-    OperatorSpec::ScanColumn { table: "t".into(), column: column.into(), range: RowRange::new(0, rows) }
+    OperatorSpec::ScanColumn {
+        table: "t".into(),
+        column: column.into(),
+        range: RowRange::new(0, rows),
+    }
 }
 
 /// Serial plan: sum(b * 2) over rows where a < threshold.
 fn scalar_query(rows: usize, threshold: i64) -> Plan {
     let mut p = Plan::new();
     let a = p.add(scan("a", rows), vec![]);
-    let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+    let sel =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
     let b = p.add(scan("b", rows), vec![]);
     let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
     let calc = p.add(
-        OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: Some(ScalarValue::I64(2)) },
+        OperatorSpec::Calc {
+            op: BinaryOp::Mul,
+            left_scalar: None,
+            right_scalar: Some(ScalarValue::I64(2)),
+        },
         vec![fetch],
     );
     let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![calc]);
@@ -55,7 +64,8 @@ fn scalar_query(rows: usize, threshold: i64) -> Plan {
 fn grouped_query(rows: usize, threshold: i64) -> Plan {
     let mut p = Plan::new();
     let a = p.add(scan("a", rows), vec![]);
-    let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+    let sel =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
     let g = p.add(scan("g", rows), vec![]);
     let b = p.add(scan("b", rows), vec![]);
     let fetch_g = p.add(OperatorSpec::Fetch, vec![sel, g]);

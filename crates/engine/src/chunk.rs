@@ -14,9 +14,31 @@ pub enum Chunk {
     /// A value column (base slice or computed intermediate).
     Column(Column),
     /// A candidate list of absolute oids.
-    Oids(Arc<Vec<Oid>>),
+    ///
+    /// `stream_base` is the list's own offset within the candidate *stream*
+    /// it was cut from: `0` for a freshly produced list, `k` for a
+    /// `SlicePart { start: k, .. }` partition of one. Operators whose outputs
+    /// are positionally aligned with the candidate stream (fetch) propagate
+    /// it into their output column's base oid, so that plan mutations may
+    /// clone position-emitting consumers (joins, selects) over partitions of
+    /// a stream without the partitions forgetting where in the stream they
+    /// came from (paper §2.3 alignment).
+    Oids {
+        /// The absolute oids.
+        oids: Arc<Vec<Oid>>,
+        /// Offset of this list within its candidate stream.
+        stream_base: Oid,
+    },
     /// Matching `(outer, inner)` oid pairs of a join.
-    Join(Arc<JoinResult>),
+    ///
+    /// `stream_base` tracks the pair list's offset within the join-result
+    /// stream it was cut from, exactly like [`Chunk::Oids::stream_base`].
+    Join {
+        /// The matching pairs.
+        result: Arc<JoinResult>,
+        /// Offset of this pair list within its join-result stream.
+        stream_base: Oid,
+    },
     /// A shared join hash table (build side).
     Hash(Arc<JoinHashTable>),
     /// A mergeable partial scalar aggregate.
@@ -28,12 +50,32 @@ pub enum Chunk {
 }
 
 impl Chunk {
+    /// A fresh candidate list (stream offset 0).
+    pub fn oids(oids: Vec<Oid>) -> Self {
+        Chunk::Oids { oids: Arc::new(oids), stream_base: 0 }
+    }
+
+    /// A candidate list cut from a stream at `stream_base`.
+    pub fn oids_at(oids: Vec<Oid>, stream_base: Oid) -> Self {
+        Chunk::Oids { oids: Arc::new(oids), stream_base }
+    }
+
+    /// A fresh join result (stream offset 0).
+    pub fn join(result: JoinResult) -> Self {
+        Chunk::Join { result: Arc::new(result), stream_base: 0 }
+    }
+
+    /// A join-result window cut from a stream at `stream_base`.
+    pub fn join_at(result: JoinResult, stream_base: Oid) -> Self {
+        Chunk::Join { result: Arc::new(result), stream_base }
+    }
+
     /// Short kind name (used in error messages and plan dumps).
     pub fn kind(&self) -> &'static str {
         match self {
             Chunk::Column(_) => "column",
-            Chunk::Oids(_) => "oids",
-            Chunk::Join(_) => "join",
+            Chunk::Oids { .. } => "oids",
+            Chunk::Join { .. } => "join",
             Chunk::Hash(_) => "hash",
             Chunk::AggPartial(_) => "agg-partial",
             Chunk::Grouped(_) => "grouped",
@@ -45,8 +87,8 @@ impl Chunk {
     pub fn rows(&self) -> usize {
         match self {
             Chunk::Column(c) => c.len(),
-            Chunk::Oids(o) => o.len(),
-            Chunk::Join(j) => j.len(),
+            Chunk::Oids { oids, .. } => oids.len(),
+            Chunk::Join { result, .. } => result.len(),
             Chunk::Hash(h) => h.len(),
             Chunk::AggPartial(_) | Chunk::Scalar(_) => 1,
             Chunk::Grouped(g) => g.len(),
@@ -57,8 +99,8 @@ impl Chunk {
     pub fn byte_size(&self) -> usize {
         match self {
             Chunk::Column(c) => c.byte_size(),
-            Chunk::Oids(o) => o.len() * 8,
-            Chunk::Join(j) => j.len() * 16,
+            Chunk::Oids { oids, .. } => oids.len() * 8,
+            Chunk::Join { result, .. } => result.len() * 16,
             Chunk::Hash(h) => h.byte_size(),
             Chunk::AggPartial(_) => std::mem::size_of::<AggState>(),
             Chunk::Scalar(_) => std::mem::size_of::<ScalarValue>(),
@@ -72,10 +114,10 @@ impl Chunk {
             Chunk::Scalar(v) => QueryOutput::Scalar(v.clone()),
             Chunk::Grouped(g) => QueryOutput::Groups(g.finish_sorted()),
             Chunk::AggPartial(s) => QueryOutput::Scalar(s.finish()),
-            Chunk::Oids(o) => QueryOutput::Oids(o.as_ref().clone()),
+            Chunk::Oids { oids, .. } => QueryOutput::Oids(oids.as_ref().clone()),
             Chunk::Column(c) => QueryOutput::Column(c.to_scalars()),
-            Chunk::Join(j) => QueryOutput::JoinPairs(
-                j.outer_oids.iter().copied().zip(j.inner_oids.iter().copied()).collect(),
+            Chunk::Join { result, .. } => QueryOutput::JoinPairs(
+                result.outer_oids.iter().copied().zip(result.inner_oids.iter().copied()).collect(),
             ),
             Chunk::Hash(h) => QueryOutput::Opaque(format!("hash-table({} entries)", h.len())),
         }
@@ -121,9 +163,13 @@ impl QueryOutput {
         match self {
             QueryOutput::Scalar(v) => format!("scalar {v}"),
             QueryOutput::Groups(g) => {
-                let head: Vec<String> =
-                    g.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
-                format!("{} groups [{}{}]", g.len(), head.join(", "), if g.len() > 3 { ", ..." } else { "" })
+                let head: Vec<String> = g.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
+                format!(
+                    "{} groups [{}{}]",
+                    g.len(),
+                    head.join(", "),
+                    if g.len() > 3 { ", ..." } else { "" }
+                )
             }
             QueryOutput::Oids(o) => format!("{} oids", o.len()),
             QueryOutput::Column(c) => format!("{} rows", c.len()),
@@ -145,7 +191,7 @@ mod tests {
         assert_eq!(col.rows(), 3);
         assert_eq!(col.byte_size(), 24);
 
-        let oids = Chunk::Oids(Arc::new(vec![1, 2]));
+        let oids = Chunk::oids(vec![1, 2]);
         assert_eq!(oids.kind(), "oids");
         assert_eq!(oids.rows(), 2);
         assert_eq!(oids.byte_size(), 16);
@@ -183,7 +229,7 @@ mod tests {
         assert_eq!(out.rows(), 0);
 
         let jr = JoinResult { outer_oids: vec![0, 1], inner_oids: vec![5, 6] };
-        let out = Chunk::Join(Arc::new(jr)).to_output();
+        let out = Chunk::join(jr).to_output();
         assert_eq!(out, QueryOutput::JoinPairs(vec![(0, 5), (1, 6)]));
         assert!(out.summary().contains("2 join pairs"));
     }

@@ -32,6 +32,8 @@ pub enum EngineError {
     WorkerPanicked(String),
     /// The engine was shut down while queries were still running.
     EngineShutDown,
+    /// The query's handle was cancelled before it finished.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -46,6 +48,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownObject(name) => write!(f, "unknown catalog object: {name}"),
             EngineError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             EngineError::EngineShutDown => write!(f, "engine has been shut down"),
+            EngineError::Cancelled => write!(f, "query was cancelled"),
         }
     }
 }
@@ -87,5 +90,6 @@ mod tests {
         let e = EngineError::InvalidInput { node: 3, expected: "oids", found: "column" };
         assert!(e.to_string().contains("node 3"));
         assert!(EngineError::EngineShutDown.to_string().contains("shut down"));
+        assert!(EngineError::Cancelled.to_string().contains("cancelled"));
     }
 }

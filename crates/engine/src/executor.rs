@@ -10,17 +10,21 @@
 //! [`Engine`] owns the worker pool ("interpreter per CPU core"); queries are
 //! submitted with [`Engine::execute`], which performs dependency-counting
 //! dataflow scheduling: a node becomes runnable when all its producers have
-//! finished and is then pushed onto the shared task queue. Because the queue
-//! is shared by *all* concurrently submitted queries, a heavy concurrent
-//! workload creates exactly the resource contention the paper studies —
-//! plans with more partitions fight for the same workers.
+//! finished and is then handed to the engine's [`Scheduler`]. *Which* worker
+//! runs it *when* is the scheduler's choice — see [`crate::scheduler`] for
+//! the pluggable policies ([`SchedulerPolicy::GlobalQueue`], the seed
+//! engine's shared FIFO, and [`SchedulerPolicy::WorkStealing`], per-worker
+//! deques with local-first pop). Because the pool is shared by *all*
+//! concurrently submitted queries, a heavy concurrent workload creates
+//! exactly the resource contention the paper studies; per-task queue-wait
+//! times are recorded in the profile so downstream consumers can tell
+//! operator cost from scheduler interference.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use apq_columnar::Catalog;
@@ -31,6 +35,9 @@ use crate::interpreter::execute_node;
 use crate::noise::{NoiseConfig, NoiseInjector};
 use crate::plan::{NodeId, Plan};
 use crate::profiler::{OperatorProfile, QueryProfile};
+use crate::scheduler::{
+    QueryHandle, Scheduler, SchedulerPolicy, SchedulerStats, Task, TaskContext,
+};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +51,8 @@ pub struct EngineConfig {
     /// microseconds. Used to emulate a platform with slower memory access
     /// (the 4-socket configuration of paper Fig. 17b).
     pub per_operator_overhead_us: u64,
+    /// Task-scheduling policy of the worker pool.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +61,7 @@ impl Default for EngineConfig {
             n_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             noise: None,
             per_operator_overhead_us: 0,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 }
@@ -60,6 +70,34 @@ impl EngineConfig {
     /// Configuration with an explicit worker count and no noise.
     pub fn with_workers(n_workers: usize) -> Self {
         EngineConfig { n_workers: n_workers.max(1), ..EngineConfig::default() }
+    }
+
+    /// Sets the scheduling policy (builder style).
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+/// Per-query submission options: scheduling priority and admitted degree of
+/// parallelism (see [`QueryHandle`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Scheduling priority; `> 0` uses the schedulers' priority lane.
+    pub priority: u8,
+    /// Maximum concurrently executing tasks of this query (`0` = unlimited).
+    pub admitted_dop: usize,
+}
+
+impl QueryOptions {
+    /// Options with an admitted degree of parallelism.
+    pub fn with_admitted_dop(dop: usize) -> Self {
+        QueryOptions { admitted_dop: dop, ..QueryOptions::default() }
+    }
+
+    /// Options with a scheduling priority.
+    pub fn with_priority(priority: u8) -> Self {
+        QueryOptions { priority, ..QueryOptions::default() }
     }
 }
 
@@ -72,20 +110,22 @@ pub struct QueryExecution {
     pub profile: QueryProfile,
 }
 
-type Task = Box<dyn FnOnce(usize) + Send + 'static>;
-
-/// The shared execution engine (worker pool + task queue).
+/// The shared execution engine (worker pool + pluggable task scheduler).
 pub struct Engine {
     config: EngineConfig,
-    sender: Option<Sender<Task>>,
+    scheduler: Arc<dyn Scheduler>,
     workers: Vec<JoinHandle<()>>,
     noise: Option<Arc<NoiseInjector>>,
+    next_query_id: AtomicU64,
+    /// Queries currently inside `execute_with_handle` (all clients).
+    in_flight: AtomicUsize,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("n_workers", &self.config.n_workers)
+            .field("scheduler", &self.config.scheduler)
             .field("noise", &self.config.noise)
             .finish()
     }
@@ -94,23 +134,27 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Creates an engine with the given configuration, spawning the worker pool.
     pub fn new(config: EngineConfig) -> Self {
-        let (sender, receiver) = unbounded::<Task>();
-        let mut workers = Vec::with_capacity(config.n_workers);
-        for worker_idx in 0..config.n_workers.max(1) {
-            let rx = receiver.clone();
+        let n_workers = config.n_workers.max(1);
+        let scheduler = config.scheduler.build(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for worker_idx in 0..n_workers {
+            let sched = Arc::clone(&scheduler);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("apq-worker-{worker_idx}"))
-                    .spawn(move || {
-                        while let Ok(task) = rx.recv() {
-                            task(worker_idx);
-                        }
-                    })
+                    .spawn(move || sched.run_worker(worker_idx))
                     .expect("failed to spawn worker thread"),
             );
         }
         let noise = config.noise.clone().map(|c| Arc::new(NoiseInjector::new(c)));
-        Engine { config, sender: Some(sender), workers, noise }
+        Engine {
+            config,
+            scheduler,
+            workers,
+            noise,
+            next_query_id: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
     }
 
     /// Engine with `n` workers and default settings otherwise.
@@ -128,13 +172,68 @@ impl Engine {
         &self.config
     }
 
+    /// Snapshot of the scheduler's per-worker counters (cumulative since the
+    /// engine was created).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Number of queries currently executing on this engine (all clients).
+    pub fn in_flight_queries(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Registers a query with the scheduler, returning its handle. The handle
+    /// can be passed to [`Engine::execute_with_handle`] and retained by the
+    /// caller for mid-flight control (cancellation, DOP re-grants).
+    pub fn register_query(&self, options: QueryOptions) -> Arc<QueryHandle> {
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        Arc::new(QueryHandle::new(id, options.priority, options.admitted_dop))
+    }
+
     /// Executes a plan against a catalog, blocking until the result is ready.
     ///
     /// May be called concurrently from many client threads; all queries share
     /// the same worker pool.
     pub fn execute(&self, plan: &Plan, catalog: &Arc<Catalog>) -> Result<QueryExecution> {
+        self.execute_shared(&Arc::new(plan.clone()), catalog)
+    }
+
+    /// Like [`Engine::execute`] but borrows an already-shared plan, avoiding
+    /// the deep plan clone per run — the hot path for repeated executions of
+    /// the same plan (benchmark loops, background workloads).
+    pub fn execute_shared(
+        &self,
+        plan: &Arc<Plan>,
+        catalog: &Arc<Catalog>,
+    ) -> Result<QueryExecution> {
+        let handle = self.register_query(QueryOptions::default());
+        self.execute_with_handle(plan, catalog, handle)
+    }
+
+    /// Executes a plan under an explicit [`QueryHandle`] (from
+    /// [`Engine::register_query`]), giving the caller per-query scheduling
+    /// control: priority, admitted degree of parallelism, cancellation.
+    pub fn execute_with_handle(
+        &self,
+        plan: &Arc<Plan>,
+        catalog: &Arc<Catalog>,
+        handle: Arc<QueryHandle>,
+    ) -> Result<QueryExecution> {
         plan.validate()?;
-        let sender = self.sender.as_ref().ok_or(EngineError::EngineShutDown)?;
+
+        // Count of *other* queries in flight at submission, recorded in the
+        // profile so consumers of the queue-wait signal can tell cross-query
+        // interference from self-inflicted queueing (more partitions than
+        // workers). The guard keeps the counter balanced on error returns.
+        let concurrent_peers = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        struct InFlightGuard<'a>(&'a AtomicUsize);
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _in_flight = InFlightGuard(&self.in_flight);
 
         let capacity = plan.capacity();
         let live = plan.node_ids();
@@ -145,12 +244,14 @@ impl Engine {
         }
 
         let state = Arc::new(RunState {
-            plan: plan.clone(),
+            plan: Arc::clone(plan),
             catalog: Arc::clone(catalog),
-            results: Mutex::new(vec![None; capacity]),
-            profiles: Mutex::new(vec![None; capacity]),
+            handle,
+            results: (0..capacity).map(|_| OnceLock::new()).collect(),
+            profiles: (0..capacity).map(|_| OnceLock::new()).collect(),
             deps,
             remaining: AtomicUsize::new(live.len()),
+            failed: AtomicBool::new(false),
             error: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
@@ -159,14 +260,18 @@ impl Engine {
             overhead_us: self.config.per_operator_overhead_us,
         });
 
-        // Seed the queue with every node that has no inputs. The check must
-        // use the static plan structure (not the atomic dependency counters):
-        // workers already run seeded nodes concurrently with this loop and
-        // may drive another node's counter to zero before the loop reaches
-        // it, which would double-schedule that node.
+        // Seed the scheduler with every node that has no inputs. The check
+        // must use the static plan structure (not the atomic dependency
+        // counters): workers already run seeded nodes concurrently with this
+        // loop and may drive another node's counter to zero before the loop
+        // reaches it, which would double-schedule that node.
         for &id in &live {
             if plan.node(id)?.inputs.is_empty() {
-                spawn_node(&state, sender, id);
+                let st = Arc::clone(&state);
+                let task = Task::new(Arc::clone(&state.handle), move |ctx| run_node(st, ctx, id));
+                if !self.scheduler.submit(task) {
+                    return Err(EngineError::EngineShutDown);
+                }
             }
         }
 
@@ -182,14 +287,16 @@ impl Engine {
         }
 
         let root = plan.root().expect("validated plan has a root");
-        let root_chunk = state.results.lock()[root]
-            .clone()
+        let root_chunk = state.results[root]
+            .get()
+            .cloned()
             .ok_or_else(|| EngineError::InvalidPlan("root node produced no result".to_string()))?;
         let operators: Vec<OperatorProfile> =
-            state.profiles.lock().iter().flatten().cloned().collect();
+            state.profiles.iter().filter_map(OnceLock::get).cloned().collect();
         let profile = QueryProfile {
             wall_time: state.started.elapsed(),
             n_workers: self.config.n_workers,
+            concurrent_peers,
             operators,
         };
         Ok(QueryExecution { output: root_chunk.to_output(), profile })
@@ -198,8 +305,9 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Closing the channel lets the workers drain remaining tasks and exit.
-        self.sender.take();
+        // Shutting the scheduler down lets the workers drain remaining tasks
+        // and exit.
+        self.scheduler.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -207,12 +315,18 @@ impl Drop for Engine {
 }
 
 struct RunState {
-    plan: Plan,
+    plan: Arc<Plan>,
     catalog: Arc<Catalog>,
-    results: Mutex<Vec<Option<Chunk>>>,
-    profiles: Mutex<Vec<Option<OperatorProfile>>>,
+    handle: Arc<QueryHandle>,
+    /// One write-once slot per plan node: a producer publishes its chunk,
+    /// consumers read it lock-free. Replaces the seed engine's whole-`Vec`
+    /// mutex, which serialized input gathering under high DOP.
+    results: Vec<OnceLock<Chunk>>,
+    profiles: Vec<OnceLock<OperatorProfile>>,
     deps: Vec<AtomicUsize>,
     remaining: AtomicUsize,
+    /// Fast-path flag mirroring `error.is_some()`.
+    failed: AtomicBool,
     error: Mutex<Option<EngineError>>,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -235,46 +349,52 @@ impl RunState {
                 *slot = Some(err);
             }
         }
+        self.failed.store(true, Ordering::Release);
         self.finish();
     }
 }
 
-fn spawn_node(state: &Arc<RunState>, sender: &Sender<Task>, node: NodeId) {
-    let st = Arc::clone(state);
-    let snd = sender.clone();
-    let _ = sender.send(Box::new(move |worker| run_node(st, snd, node, worker)));
-}
-
-fn run_node(state: Arc<RunState>, sender: Sender<Task>, node: NodeId, worker: usize) {
+fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
     // A failed sibling already tore the query down; do nothing.
-    if state.error.lock().is_some() {
+    if state.failed.load(Ordering::Acquire) {
         return;
+    }
+    if state.handle.is_cancelled() {
+        return state.fail(EngineError::Cancelled);
     }
     let node_ref = match state.plan.node(node) {
         Ok(n) => n.clone(),
         Err(e) => return state.fail(e),
     };
 
-    // Gather the (already materialized) inputs.
-    let inputs: Vec<Chunk> = {
-        let results = state.results.lock();
-        let mut gathered = Vec::with_capacity(node_ref.inputs.len());
-        for &input in &node_ref.inputs {
-            match results.get(input).and_then(Clone::clone) {
-                Some(chunk) => gathered.push(chunk),
-                None => {
-                    drop(results);
-                    return state.fail(EngineError::InvalidPlan(format!(
-                        "node {node} was scheduled before its input {input} completed"
-                    )));
-                }
+    // Gather the (already materialized) inputs from their write-once slots.
+    let mut inputs: Vec<Chunk> = Vec::with_capacity(node_ref.inputs.len());
+    for &input in &node_ref.inputs {
+        match state.results.get(input).and_then(OnceLock::get) {
+            Some(chunk) => inputs.push(chunk.clone()),
+            None => {
+                return state.fail(EngineError::InvalidPlan(format!(
+                    "node {node} was scheduled before its input {input} completed"
+                )));
             }
         }
-        gathered
-    };
+    }
 
+    let queue_wait_us = ctx.queue_wait.as_micros() as u64;
     let start_us = state.started.elapsed().as_micros() as u64;
-    let outcome = execute_node(node, &node_ref.spec, &inputs, &state.catalog);
+    // A panicking operator must fail *this query* (waking the submitting
+    // client) rather than unwind through the shared worker pool.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_node(node, &node_ref.spec, &inputs, &state.catalog)
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(EngineError::WorkerPanicked(format!("operator {node} panicked: {msg}")))
+    });
     if state.overhead_us > 0 {
         std::thread::sleep(std::time::Duration::from_micros(state.overhead_us));
     }
@@ -288,24 +408,26 @@ fn run_node(state: Arc<RunState>, sender: Sender<Task>, node: NodeId, worker: us
         Err(e) => return state.fail(e),
     };
 
-    {
-        let mut profiles = state.profiles.lock();
-        profiles[node] = Some(OperatorProfile {
-            node,
-            name: node_ref.spec.name(),
-            start_us,
-            duration_us: end_us.saturating_sub(start_us),
-            worker,
-            rows_out: chunk.rows(),
-            bytes_out: chunk.byte_size(),
-        });
+    let profile = OperatorProfile {
+        node,
+        name: node_ref.spec.name(),
+        start_us,
+        duration_us: end_us.saturating_sub(start_us),
+        queue_wait_us,
+        worker: ctx.worker,
+        rows_out: chunk.rows(),
+        bytes_out: chunk.byte_size(),
+    };
+    if state.profiles[node].set(profile).is_err() {
+        return state.fail(EngineError::InvalidPlan(format!("node {node} executed twice")));
     }
-    {
-        let mut results = state.results.lock();
-        results[node] = Some(chunk);
+    if state.results[node].set(chunk).is_err() {
+        return state.fail(EngineError::InvalidPlan(format!("node {node} produced two results")));
     }
 
-    // Wake up consumers whose dependencies are now all satisfied.
+    // Wake up consumers whose dependencies are now all satisfied; follow-up
+    // tasks go through the task context, so a work-stealing scheduler keeps
+    // them on this worker's local deque (the producing core's cache is hot).
     for consumer in state.plan.consumers(node) {
         let edges = state
             .plan
@@ -317,7 +439,10 @@ fn run_node(state: Arc<RunState>, sender: Sender<Task>, node: NodeId, worker: us
         }
         let before = state.deps[consumer].fetch_sub(edges, Ordering::AcqRel);
         if before == edges {
-            spawn_node(&state, &sender, consumer);
+            let st = Arc::clone(&state);
+            ctx.submit(Task::new(Arc::clone(&state.handle), move |ctx| {
+                run_node(st, ctx, consumer)
+            }));
         }
     }
 
@@ -348,14 +473,19 @@ mod tests {
     }
 
     fn scan(col: &str, rows: usize) -> OperatorSpec {
-        OperatorSpec::ScanColumn { table: "t".into(), column: col.into(), range: RowRange::new(0, rows) }
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: col.into(),
+            range: RowRange::new(0, rows),
+        }
     }
 
     /// Serial plan: sum(b) where a < threshold.
     fn filter_sum_plan(rows: usize, threshold: i64) -> Plan {
         let mut p = Plan::new();
         let a = p.add(scan("a", rows), vec![]);
-        let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+        let sel = p
+            .add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
         let b = p.add(scan("b", rows), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -364,17 +494,29 @@ mod tests {
         p
     }
 
+    fn both_policies() -> [Engine; 2] {
+        [
+            Engine::new(EngineConfig::with_workers(2)),
+            Engine::new(
+                EngineConfig::with_workers(2).with_scheduler(SchedulerPolicy::WorkStealing),
+            ),
+        ]
+    }
+
     #[test]
     fn executes_serial_plan() {
-        let engine = Engine::with_workers(2);
-        let cat = catalog(1000);
-        let plan = filter_sum_plan(1000, 10);
-        let exec = engine.execute(&plan, &cat).unwrap();
-        // sum of b over a in [0,10) = 2 * (0+..+9) = 90.
-        assert_eq!(exec.output, QueryOutput::Scalar(ScalarValue::I64(90)));
-        assert_eq!(exec.profile.operators.len(), 6);
-        assert!(exec.profile.wall_us() > 0);
-        assert!(exec.profile.most_expensive().is_some());
+        for engine in both_policies() {
+            let cat = catalog(1000);
+            let plan = filter_sum_plan(1000, 10);
+            let exec = engine.execute(&plan, &cat).unwrap();
+            // sum of b over a in [0,10) = 2 * (0+..+9) = 90.
+            assert_eq!(exec.output, QueryOutput::Scalar(ScalarValue::I64(90)));
+            assert_eq!(exec.profile.operators.len(), 6);
+            assert!(exec.profile.wall_us() > 0);
+            assert!(exec.profile.most_expensive().is_some());
+            // Every task's dispatch is recorded by the scheduler.
+            assert_eq!(engine.scheduler_stats().total_executed(), 6);
+        }
     }
 
     #[test]
@@ -387,11 +529,19 @@ mod tests {
         // Hand-built two-partition version of the same query.
         let mut p = Plan::new();
         let a0 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(0, 5_000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(0, 5_000),
+            },
             vec![],
         );
         let a1 = p.add(
-            OperatorSpec::ScanColumn { table: "t".into(), column: "a".into(), range: RowRange::new(5_000, 10_000) },
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(5_000, 10_000),
+            },
             vec![],
         );
         let pred = Predicate::cmp(CmpOp::Lt, 500i64);
@@ -413,67 +563,74 @@ mod tests {
 
     #[test]
     fn concurrent_queries_share_the_pool() {
-        let engine = Arc::new(Engine::with_workers(3));
-        let cat = catalog(5_000);
-        let mut handles = Vec::new();
-        for i in 0..8 {
-            let engine = Arc::clone(&engine);
-            let cat = Arc::clone(&cat);
-            handles.push(std::thread::spawn(move || {
-                let plan = filter_sum_plan(5_000, 100 + i);
-                engine.execute(&plan, &cat).unwrap().output
-            }));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            let out = h.join().unwrap();
-            let threshold = 100 + i as i64;
-            let expected: i64 = (0..threshold).map(|v| v * 2).sum();
-            assert_eq!(out, QueryOutput::Scalar(ScalarValue::I64(expected)));
+        for policy in SchedulerPolicy::ALL {
+            let engine =
+                Arc::new(Engine::new(EngineConfig::with_workers(3).with_scheduler(policy)));
+            let cat = catalog(5_000);
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let engine = Arc::clone(&engine);
+                let cat = Arc::clone(&cat);
+                handles.push(std::thread::spawn(move || {
+                    let plan = filter_sum_plan(5_000, 100 + i);
+                    engine.execute(&plan, &cat).unwrap().output
+                }));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                let out = h.join().unwrap();
+                let threshold = 100 + i as i64;
+                let expected: i64 = (0..threshold).map(|v| v * 2).sum();
+                assert_eq!(out, QueryOutput::Scalar(ScalarValue::I64(expected)));
+            }
         }
     }
 
     #[test]
     fn execution_errors_are_propagated() {
-        let engine = Engine::with_workers(2);
-        let cat = catalog(10);
-        // Division by zero in a calc node.
-        let mut p = Plan::new();
-        let a = p.add(scan("a", 10), vec![]);
-        let div = p.add(
-            OperatorSpec::Calc {
-                op: apq_operators::BinaryOp::Div,
-                left_scalar: None,
-                right_scalar: Some(ScalarValue::I64(0)),
-            },
-            vec![a],
-        );
-        p.set_root(div);
-        let err = engine.execute(&p, &cat).unwrap_err();
-        assert!(matches!(err, EngineError::Operator(_)));
+        for engine in both_policies() {
+            let cat = catalog(10);
+            // Division by zero in a calc node.
+            let mut p = Plan::new();
+            let a = p.add(scan("a", 10), vec![]);
+            let div = p.add(
+                OperatorSpec::Calc {
+                    op: apq_operators::BinaryOp::Div,
+                    left_scalar: None,
+                    right_scalar: Some(ScalarValue::I64(0)),
+                },
+                vec![a],
+            );
+            p.set_root(div);
+            let err = engine.execute(&p, &cat).unwrap_err();
+            assert!(matches!(err, EngineError::Operator(_)));
 
-        // Unknown table surfaces as a storage error.
-        let mut p = Plan::new();
-        let bad = p.add(
-            OperatorSpec::ScanColumn { table: "missing".into(), column: "x".into(), range: RowRange::new(0, 1) },
-            vec![],
-        );
-        p.set_root(bad);
-        assert!(engine.execute(&p, &cat).is_err());
+            // Unknown table surfaces as a storage error.
+            let mut p = Plan::new();
+            let bad = p.add(
+                OperatorSpec::ScanColumn {
+                    table: "missing".into(),
+                    column: "x".into(),
+                    range: RowRange::new(0, 1),
+                },
+                vec![],
+            );
+            p.set_root(bad);
+            assert!(engine.execute(&p, &cat).is_err());
 
-        // Invalid plans are rejected before execution.
-        let p = Plan::new();
-        assert!(matches!(engine.execute(&p, &cat), Err(EngineError::InvalidPlan(_))));
+            // Invalid plans are rejected before execution.
+            let p = Plan::new();
+            assert!(matches!(engine.execute(&p, &cat), Err(EngineError::InvalidPlan(_))));
+        }
     }
 
     #[test]
     fn noise_and_overhead_inflate_operator_times() {
         let cat = catalog(100);
         let plan = filter_sum_plan(100, 50);
-        let quiet = Engine::new(EngineConfig { n_workers: 2, noise: None, per_operator_overhead_us: 0 });
+        let quiet = Engine::new(EngineConfig::with_workers(2));
         let slow = Engine::new(EngineConfig {
-            n_workers: 2,
-            noise: None,
             per_operator_overhead_us: 500,
+            ..EngineConfig::with_workers(2)
         });
         let q = quiet.execute(&plan, &cat).unwrap();
         let s = slow.execute(&plan, &cat).unwrap();
@@ -481,9 +638,8 @@ mod tests {
         assert!(s.profile.total_cpu_us() > q.profile.total_cpu_us() + 1_000);
 
         let noisy = Engine::new(EngineConfig {
-            n_workers: 2,
             noise: Some(NoiseConfig { probability: 1.0, max_delay_us: 300, seed: 7 }),
-            per_operator_overhead_us: 0,
+            ..EngineConfig::with_workers(2)
         });
         let n = noisy.execute(&plan, &cat).unwrap();
         assert_eq!(n.output, q.output);
@@ -495,7 +651,81 @@ mod tests {
         assert_eq!(engine.n_workers(), 2);
         assert!(format!("{engine:?}").contains("n_workers"));
         assert_eq!(engine.config().per_operator_overhead_us, 0);
+        assert_eq!(engine.config().scheduler, SchedulerPolicy::GlobalQueue);
         let default_cfg = EngineConfig::default();
         assert!(default_cfg.n_workers >= 1);
+        assert_eq!(default_cfg.scheduler, SchedulerPolicy::GlobalQueue);
+    }
+
+    #[test]
+    fn queue_wait_is_profiled() {
+        // One worker, a plan with independent scans: whichever scan runs
+        // second must have waited in the queue while the first executed.
+        let engine = Engine::with_workers(1);
+        let cat = catalog(50_000);
+        let plan = filter_sum_plan(50_000, 1_000);
+        let exec = engine.execute(&plan, &cat).unwrap();
+        let total_wait: u64 = exec.profile.operators.iter().map(|o| o.queue_wait_us).sum();
+        assert!(
+            total_wait > 0,
+            "no queue wait recorded on a single-worker engine: {:?}",
+            exec.profile.operators
+        );
+        assert_eq!(exec.profile.total_queue_wait_us(), total_wait);
+    }
+
+    #[test]
+    fn cancellation_aborts_the_query() {
+        for engine in both_policies() {
+            let cat = catalog(1_000);
+            let plan = Arc::new(filter_sum_plan(1_000, 10));
+            let handle = engine.register_query(QueryOptions::default());
+            handle.cancel();
+            let err = engine.execute_with_handle(&plan, &cat, handle).unwrap_err();
+            assert_eq!(err, EngineError::Cancelled);
+        }
+    }
+
+    #[test]
+    fn admitted_dop_throttles_but_preserves_results() {
+        for policy in SchedulerPolicy::ALL {
+            let engine = Engine::new(EngineConfig::with_workers(4).with_scheduler(policy));
+            let cat = catalog(10_000);
+            let plan = Arc::new(filter_sum_plan(10_000, 500));
+            let expected = engine.execute_shared(&plan, &cat).unwrap().output;
+            let handle = engine.register_query(QueryOptions::with_admitted_dop(1));
+            let exec = engine.execute_with_handle(&plan, &cat, handle).unwrap();
+            assert_eq!(exec.output, expected, "{policy}: throttled run diverged");
+        }
+    }
+
+    #[test]
+    fn shared_plan_execution_avoids_replanning() {
+        let engine = Engine::with_workers(2);
+        let cat = catalog(2_000);
+        let plan = Arc::new(filter_sum_plan(2_000, 20));
+        let first = engine.execute_shared(&plan, &cat).unwrap().output;
+        for _ in 0..3 {
+            assert_eq!(engine.execute_shared(&plan, &cat).unwrap().output, first);
+        }
+    }
+
+    #[test]
+    fn work_stealing_records_locality() {
+        let engine = Engine::new(
+            EngineConfig::with_workers(2).with_scheduler(SchedulerPolicy::WorkStealing),
+        );
+        let cat = catalog(20_000);
+        // A serial chain: every follow-up is produced on a worker, so local
+        // hits must appear.
+        let plan = filter_sum_plan(20_000, 500);
+        engine.execute(&plan, &cat).unwrap();
+        let stats = engine.scheduler_stats();
+        assert_eq!(stats.policy, "work-stealing");
+        assert_eq!(stats.total_executed(), 6);
+        assert!(
+            stats.total_local_hits() > 0,
+            "chained operators never hit the local deque: {stats:?}"
+        );
     }
 }

@@ -10,9 +10,9 @@ use std::sync::Arc;
 
 use apq_columnar::{Catalog, Column, DataType, Oid, ScalarValue};
 use apq_operators::{
-    calc_col_col, calc_col_scalar, calc_scalar_col, fetch, fetch_clamped, grouped_agg,
-    scalar_agg, select, select_with_candidates, AggState, BinaryOp, GroupedAgg, JoinHashTable,
-    JoinResult, OperatorError,
+    calc_col_col, calc_col_scalar, calc_scalar_col, fetch, fetch_clamped, grouped_agg, scalar_agg,
+    select, select_with_candidates, AggState, BinaryOp, GroupedAgg, JoinHashTable, JoinResult,
+    OperatorError,
 };
 
 use crate::chunk::Chunk;
@@ -23,35 +23,37 @@ fn input_error(node: NodeId, expected: &'static str, found: &Chunk) -> EngineErr
     EngineError::InvalidInput { node, expected, found: found.kind() }
 }
 
-fn as_column<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Column> {
+fn as_column(node: NodeId, chunk: &Chunk) -> Result<&Column> {
     match chunk {
         Chunk::Column(c) => Ok(c),
         other => Err(input_error(node, "column", other)),
     }
 }
 
-fn as_oids<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<Vec<Oid>>> {
+/// Returns the oid list together with its stream offset.
+fn as_oids(node: NodeId, chunk: &Chunk) -> Result<(&Arc<Vec<Oid>>, Oid)> {
     match chunk {
-        Chunk::Oids(o) => Ok(o),
+        Chunk::Oids { oids, stream_base } => Ok((oids, *stream_base)),
         other => Err(input_error(node, "oids", other)),
     }
 }
 
-fn as_hash<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<JoinHashTable>> {
+fn as_hash(node: NodeId, chunk: &Chunk) -> Result<&Arc<JoinHashTable>> {
     match chunk {
         Chunk::Hash(h) => Ok(h),
         other => Err(input_error(node, "hash", other)),
     }
 }
 
-fn as_join<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a Arc<JoinResult>> {
+/// Returns the join result together with its stream offset.
+fn as_join(node: NodeId, chunk: &Chunk) -> Result<(&Arc<JoinResult>, Oid)> {
     match chunk {
-        Chunk::Join(j) => Ok(j),
+        Chunk::Join { result, stream_base } => Ok((result, *stream_base)),
         other => Err(input_error(node, "join", other)),
     }
 }
 
-fn as_scalar<'a>(node: NodeId, chunk: &'a Chunk) -> Result<&'a ScalarValue> {
+fn as_scalar(node: NodeId, chunk: &Chunk) -> Result<&ScalarValue> {
     match chunk {
         Chunk::Scalar(s) => Ok(s),
         other => Err(input_error(node, "scalar", other)),
@@ -81,12 +83,13 @@ pub fn execute_node(
         OperatorSpec::Select { predicate } => {
             let col = as_column(node, &inputs[0])?;
             let oids = if inputs.len() > 1 {
-                let cands = as_oids(node, &inputs[1])?;
+                let (cands, _) = as_oids(node, &inputs[1])?;
                 select_with_candidates(col, predicate, cands)?
             } else {
                 select(col, predicate)?
             };
-            Ok(Chunk::Oids(Arc::new(oids)))
+            // A selection compacts its input into a new candidate stream.
+            Ok(Chunk::oids(oids))
         }
 
         OperatorSpec::PredMask { predicate } => {
@@ -108,16 +111,24 @@ pub fn execute_node(
         }
 
         OperatorSpec::Fetch => {
-            let oids = as_oids(node, &inputs[0])?;
+            let (oids, stream_base) = as_oids(node, &inputs[0])?;
             let col = as_column(node, &inputs[1])?;
-            Ok(Chunk::Column(fetch(col, oids)?))
+            // The fetched values are positionally aligned with the candidate
+            // stream, so the output column starts at the oid list's stream
+            // offset. This is what lets a position-emitting consumer (probe,
+            // select) be cloned over SlicePart partitions of a stream: each
+            // partition's fetch output knows where in the stream it sits.
+            Ok(Chunk::Column(fetch(col, oids)?.with_base_oid(stream_base)))
         }
 
         OperatorSpec::FetchClamped => {
-            let oids = as_oids(node, &inputs[0])?;
+            let (oids, stream_base) = as_oids(node, &inputs[0])?;
             let col = as_column(node, &inputs[1])?;
-            let (fetched, _, _) = fetch_clamped(col, oids)?;
-            Ok(Chunk::Column(fetched))
+            let (fetched, _, dropped) = fetch_clamped(col, oids)?;
+            // Dropped oids shift positions, so stream alignment only
+            // survives a clamp that dropped nothing.
+            let base = if dropped == 0 { stream_base } else { 0 };
+            Ok(Chunk::Column(fetched.with_base_oid(base)))
         }
 
         OperatorSpec::HashBuild => {
@@ -128,28 +139,30 @@ pub fn execute_node(
         OperatorSpec::HashProbe => {
             let outer = as_column(node, &inputs[0])?;
             let hash = as_hash(node, &inputs[1])?;
-            Ok(Chunk::Join(Arc::new(hash.probe(outer)?)))
+            Ok(Chunk::join(hash.probe(outer)?))
         }
 
         OperatorSpec::SemiJoin => {
             let outer = as_column(node, &inputs[0])?;
             let hash = as_hash(node, &inputs[1])?;
-            Ok(Chunk::Oids(Arc::new(hash.probe_semi(outer)?)))
+            Ok(Chunk::oids(hash.probe_semi(outer)?))
         }
 
         OperatorSpec::AntiJoin => {
             let outer = as_column(node, &inputs[0])?;
             let hash = as_hash(node, &inputs[1])?;
-            Ok(Chunk::Oids(Arc::new(anti_join(outer, hash)?)))
+            Ok(Chunk::oids(anti_join(outer, hash)?))
         }
 
         OperatorSpec::ProjectJoinSide { side } => {
-            let join = as_join(node, &inputs[0])?;
+            let (join, stream_base) = as_join(node, &inputs[0])?;
             let oids = match side {
                 JoinSide::Outer => join.outer_oids.clone(),
                 JoinSide::Inner => join.inner_oids.clone(),
             };
-            Ok(Chunk::Oids(Arc::new(oids)))
+            // The projected oid list inherits the join window's offset within
+            // the join-result stream.
+            Ok(Chunk::oids_at(oids, stream_base))
         }
 
         OperatorSpec::OidsFromColumn => {
@@ -173,7 +186,7 @@ pub fn execute_node(
                     )))
                 }
             };
-            Ok(Chunk::Oids(Arc::new(oids)))
+            Ok(Chunk::oids_at(oids, col.base_oid()))
         }
 
         OperatorSpec::Calc { op, left_scalar, right_scalar } => {
@@ -254,18 +267,22 @@ fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) -> Result<C
             let start = start.min(end);
             Ok(Chunk::Column(c.slice(start, end - start)?))
         }
-        Chunk::Oids(o) => {
-            let end = (start + len).min(o.len());
+        Chunk::Oids { oids, stream_base } => {
+            let end = (start + len).min(oids.len());
             let start = start.min(end);
-            Ok(Chunk::Oids(Arc::new(o[start..end].to_vec())))
+            // The partition remembers its offset within the stream.
+            Ok(Chunk::oids_at(oids[start..end].to_vec(), stream_base + start as Oid))
         }
-        Chunk::Join(j) => {
-            let end = (start + len).min(j.len());
+        Chunk::Join { result, stream_base } => {
+            let end = (start + len).min(result.len());
             let start = start.min(end);
-            Ok(Chunk::Join(Arc::new(JoinResult {
-                outer_oids: j.outer_oids[start..end].to_vec(),
-                inner_oids: j.inner_oids[start..end].to_vec(),
-            })))
+            Ok(Chunk::join_at(
+                JoinResult {
+                    outer_oids: result.outer_oids[start..end].to_vec(),
+                    inner_oids: result.inner_oids[start..end].to_vec(),
+                },
+                stream_base + start as Oid,
+            ))
         }
         other => Err(input_error(node, "column, oids or join", other)),
     }
@@ -289,7 +306,9 @@ fn if_then_else(
         DataType::Int64 => {
             let vals = then.i64_values().map_err(OperatorError::from)?;
             let other = otherwise.as_i64().ok_or_else(|| {
-                EngineError::InvalidPlan(format!("node {node}: ifthenelse otherwise must be an integer"))
+                EngineError::InvalidPlan(format!(
+                    "node {node}: ifthenelse otherwise must be an integer"
+                ))
             })?;
             Ok(Column::from_i64(
                 mask.iter().zip(vals).map(|(&m, &v)| if m { v } else { other }).collect(),
@@ -298,7 +317,9 @@ fn if_then_else(
         DataType::Float64 => {
             let vals = then.f64_values().map_err(OperatorError::from)?;
             let other = otherwise.as_f64().ok_or_else(|| {
-                EngineError::InvalidPlan(format!("node {node}: ifthenelse otherwise must be numeric"))
+                EngineError::InvalidPlan(format!(
+                    "node {node}: ifthenelse otherwise must be numeric"
+                ))
             })?;
             Ok(Column::from_f64(
                 mask.iter().zip(vals).map(|(&m, &v)| if m { v } else { other }).collect(),
@@ -327,18 +348,38 @@ fn anti_join(outer: &Column, hash: &JoinHashTable) -> Result<Vec<Oid>> {
     Ok(out)
 }
 
+/// True when `(stream_base, len)` parts can be packed in argument order
+/// without mislabeling stream positions: either every part is a fresh stream
+/// (all bases 0 — the pack forms a new stream), or the parts are consecutive
+/// windows of one stream (each base continues where the previous part ended).
+fn stream_order_is_consistent(bases: &[(Oid, usize)]) -> bool {
+    bases.iter().all(|&(b, _)| b == 0) || bases.windows(2).all(|w| w[1].0 == w[0].0 + w[0].1 as Oid)
+}
+
 /// The exchange-union operator: packs same-kind chunks in argument order.
 fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
-    let first = inputs
-        .first()
-        .ok_or(EngineError::Operator(OperatorError::EmptyInput("union")))?;
+    let first = inputs.first().ok_or(EngineError::Operator(OperatorError::EmptyInput("union")))?;
     match first {
-        Chunk::Oids(_) => {
+        Chunk::Oids { .. } => {
             let mut parts = Vec::with_capacity(inputs.len());
+            let mut bases = Vec::with_capacity(inputs.len());
             for chunk in inputs {
-                parts.push(as_oids(node, chunk)?.as_ref().clone());
+                let (oids, stream_base) = as_oids(node, chunk)?;
+                bases.push((stream_base, oids.len()));
+                parts.push(oids.as_ref().clone());
             }
-            Ok(Chunk::Oids(Arc::new(apq_operators::pack_oids(&parts))))
+            // Parts must be packed in stream order: either every part is a
+            // fresh stream (base 0 — the packed list is then itself a new
+            // stream) or the parts are consecutive windows of one stream. An
+            // out-of-order pack would mislabel positions — the silent
+            // row-redistribution class the stream_base plumbing exists to
+            // prevent — so it is asserted rather than silently accepted.
+            debug_assert!(
+                stream_order_is_consistent(&bases),
+                "node {node}: exchange-union inputs are not in stream order: {bases:?}"
+            );
+            let first_base = bases.first().map_or(0, |&(b, _)| b);
+            Ok(Chunk::oids_at(apq_operators::pack_oids(&parts), first_base))
         }
         Chunk::Column(first_col) => {
             let mut parts = Vec::with_capacity(inputs.len());
@@ -351,12 +392,20 @@ fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
                 apq_operators::pack_columns(&parts)?.with_base_oid(first_col.base_oid()),
             ))
         }
-        Chunk::Join(_) => {
+        Chunk::Join { .. } => {
             let mut parts = Vec::with_capacity(inputs.len());
+            let mut bases = Vec::with_capacity(inputs.len());
             for chunk in inputs {
-                parts.push(as_join(node, chunk)?.as_ref().clone());
+                let (join, stream_base) = as_join(node, chunk)?;
+                bases.push((stream_base, join.len()));
+                parts.push(join.as_ref().clone());
             }
-            Ok(Chunk::Join(Arc::new(JoinResult::concat(&parts))))
+            debug_assert!(
+                stream_order_is_consistent(&bases),
+                "node {node}: exchange-union join inputs are not in stream order: {bases:?}"
+            );
+            let first_base = bases.first().map_or(0, |&(b, _)| b);
+            Ok(Chunk::join_at(JoinResult::concat(&parts), first_base))
         }
         Chunk::AggPartial(first_state) => {
             let mut state = AggState::new(first_state.func());
@@ -384,9 +433,8 @@ fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
 
 /// Scalar-scalar arithmetic for final result expressions.
 fn calc_scalars(op: BinaryOp, a: &ScalarValue, b: &ScalarValue) -> Result<ScalarValue> {
-    let float = matches!(a, ScalarValue::F64(_))
-        || matches!(b, ScalarValue::F64(_))
-        || op == BinaryOp::Div;
+    let float =
+        matches!(a, ScalarValue::F64(_)) || matches!(b, ScalarValue::F64(_)) || op == BinaryOp::Div;
     if float {
         let (x, y) = match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => (x, y),
@@ -442,7 +490,10 @@ mod tests {
             TableBuilder::new("t")
                 .i64_column("a", (0..100).collect())
                 .i64_column("b", (0..100).map(|v| v * 10).collect())
-                .str_column("s", (0..100).map(|v| if v % 2 == 0 { "even" } else { "odd" }).collect())
+                .str_column(
+                    "s",
+                    (0..100).map(|v| if v % 2 == 0 { "even" } else { "odd" }).collect(),
+                )
                 .build()
                 .unwrap(),
         );
@@ -461,7 +512,7 @@ mod tests {
         let oids = execute_node(
             1,
             &OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) },
-            &[col.clone()],
+            std::slice::from_ref(&col),
             &cat,
         )
         .unwrap();
@@ -481,7 +532,11 @@ mod tests {
         assert_eq!(col.rows(), 10);
         let missing = execute_node(
             0,
-            &OperatorSpec::ScanColumn { table: "nope".into(), column: "a".into(), range: RowRange::new(0, 1) },
+            &OperatorSpec::ScanColumn {
+                table: "nope".into(),
+                column: "a".into(),
+                range: RowRange::new(0, 1),
+            },
             &[],
             &cat,
         );
@@ -492,20 +547,16 @@ mod tests {
     fn select_with_candidates_and_union() {
         let cat = catalog();
         let col = execute_node(0, &scan(RowRange::new(0, 100), "a"), &[], &cat).unwrap();
-        let cands = Chunk::Oids(Arc::new(vec![1, 3, 50, 99]));
+        let cands = Chunk::oids(vec![1, 3, 50, 99]);
         let sel = OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 50i64) };
         let out = execute_node(1, &sel, &[col, cands], &cat).unwrap();
         match &out {
-            Chunk::Oids(o) => assert_eq!(o.as_ref(), &vec![50, 99]),
+            Chunk::Oids { oids, .. } => assert_eq!(oids.as_ref(), &vec![50, 99]),
             other => panic!("unexpected {other:?}"),
         }
-        let packed = execute_node(
-            2,
-            &OperatorSpec::ExchangeUnion,
-            &[Chunk::Oids(Arc::new(vec![1, 2])), out],
-            &cat,
-        )
-        .unwrap();
+        let packed =
+            execute_node(2, &OperatorSpec::ExchangeUnion, &[Chunk::oids(vec![1, 2]), out], &cat)
+                .unwrap();
         assert_eq!(packed.rows(), 4);
     }
 
@@ -515,12 +566,13 @@ mod tests {
         let inner = Chunk::Column(Column::from_i64(vec![2, 4, 6]));
         let hash = execute_node(0, &OperatorSpec::HashBuild, &[inner], &cat).unwrap();
         let outer = Chunk::Column(Column::from_i64(vec![1, 2, 4, 4]));
-        let join = execute_node(1, &OperatorSpec::HashProbe, &[outer.clone(), hash.clone()], &cat).unwrap();
+        let join = execute_node(1, &OperatorSpec::HashProbe, &[outer.clone(), hash.clone()], &cat)
+            .unwrap();
         assert_eq!(join.rows(), 3);
         let outer_side = execute_node(
             2,
             &OperatorSpec::ProjectJoinSide { side: JoinSide::Outer },
-            &[join.clone()],
+            std::slice::from_ref(&join),
             &cat,
         )
         .unwrap();
@@ -534,7 +586,8 @@ mod tests {
         .unwrap();
         assert_eq!(inner_side.to_output(), crate::chunk::QueryOutput::Oids(vec![0, 1, 1]));
 
-        let semi = execute_node(4, &OperatorSpec::SemiJoin, &[outer.clone(), hash.clone()], &cat).unwrap();
+        let semi =
+            execute_node(4, &OperatorSpec::SemiJoin, &[outer.clone(), hash.clone()], &cat).unwrap();
         assert_eq!(semi.to_output(), crate::chunk::QueryOutput::Oids(vec![1, 2, 3]));
         let anti = execute_node(5, &OperatorSpec::AntiJoin, &[outer, hash], &cat).unwrap();
         assert_eq!(anti.to_output(), crate::chunk::QueryOutput::Oids(vec![0]));
@@ -604,8 +657,15 @@ mod tests {
     fn aggregates_and_scalars() {
         let cat = catalog();
         let col = Chunk::Column(Column::from_i64(vec![1, 2, 3, 4]));
-        let partial = execute_node(0, &OperatorSpec::ScalarAgg { func: AggFunc::Sum }, &[col.clone()], &cat).unwrap();
-        let partial2 = execute_node(1, &OperatorSpec::ScalarAgg { func: AggFunc::Sum }, &[col], &cat).unwrap();
+        let partial = execute_node(
+            0,
+            &OperatorSpec::ScalarAgg { func: AggFunc::Sum },
+            std::slice::from_ref(&col),
+            &cat,
+        )
+        .unwrap();
+        let partial2 =
+            execute_node(1, &OperatorSpec::ScalarAgg { func: AggFunc::Sum }, &[col], &cat).unwrap();
         let total = execute_node(
             2,
             &OperatorSpec::FinalizeAgg { func: AggFunc::Sum },
@@ -617,8 +677,12 @@ mod tests {
 
         let keys = Chunk::Column(Column::from_strings(["a", "b", "a"]));
         let vals = Chunk::Column(Column::from_i64(vec![1, 2, 3]));
-        let grouped = execute_node(3, &OperatorSpec::GroupAgg { func: AggFunc::Sum }, &[keys, vals], &cat).unwrap();
-        let merged = execute_node(4, &OperatorSpec::MergeGrouped, &[grouped.clone(), grouped], &cat).unwrap();
+        let grouped =
+            execute_node(3, &OperatorSpec::GroupAgg { func: AggFunc::Sum }, &[keys, vals], &cat)
+                .unwrap();
+        let merged =
+            execute_node(4, &OperatorSpec::MergeGrouped, &[grouped.clone(), grouped], &cat)
+                .unwrap();
         match merged.to_output() {
             crate::chunk::QueryOutput::Groups(g) => {
                 assert_eq!(g.len(), 2);
@@ -649,16 +713,20 @@ mod tests {
     fn slice_part_clamps() {
         let cat = catalog();
         let col = Chunk::Column(Column::from_i64(vec![1, 2, 3, 4, 5]));
-        let sliced = execute_node(0, &OperatorSpec::SlicePart { start: 2, len: 10 }, &[col], &cat).unwrap();
+        let sliced =
+            execute_node(0, &OperatorSpec::SlicePart { start: 2, len: 10 }, &[col], &cat).unwrap();
         assert_eq!(sliced.rows(), 3);
-        let oids = Chunk::Oids(Arc::new(vec![9, 8, 7]));
-        let sliced = execute_node(1, &OperatorSpec::SlicePart { start: 1, len: 1 }, &[oids], &cat).unwrap();
+        let oids = Chunk::oids(vec![9, 8, 7]);
+        let sliced =
+            execute_node(1, &OperatorSpec::SlicePart { start: 1, len: 1 }, &[oids], &cat).unwrap();
         assert_eq!(sliced.to_output(), crate::chunk::QueryOutput::Oids(vec![8]));
-        let join = Chunk::Join(Arc::new(JoinResult { outer_oids: vec![1, 2], inner_oids: vec![3, 4] }));
-        let sliced = execute_node(2, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[join], &cat).unwrap();
+        let join = Chunk::join(JoinResult { outer_oids: vec![1, 2], inner_oids: vec![3, 4] });
+        let sliced =
+            execute_node(2, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[join], &cat).unwrap();
         assert_eq!(sliced.rows(), 1);
         let scalar = Chunk::Scalar(ScalarValue::I64(1));
-        assert!(execute_node(3, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[scalar], &cat).is_err());
+        assert!(execute_node(3, &OperatorSpec::SlicePart { start: 0, len: 1 }, &[scalar], &cat)
+            .is_err());
     }
 
     #[test]
@@ -668,7 +736,7 @@ mod tests {
         let err = execute_node(
             42,
             &OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 1i64) },
-            &[scalar.clone()],
+            std::slice::from_ref(&scalar),
             &cat,
         )
         .unwrap_err();

@@ -10,8 +10,11 @@
 //! * [`chunk`] — materialized intermediates flowing along plan edges;
 //! * [`interpreter`] — executes one operator over its inputs;
 //! * [`executor`] — the shared worker pool and dependency-driven dataflow
-//!   scheduler ("an operator is scheduled for execution once all its input
+//!   executor ("an operator is scheduled for execution once all its input
 //!   sources are available"), usable concurrently by many client threads;
+//! * [`scheduler`] — pluggable task-scheduling policies (shared FIFO vs.
+//!   work-stealing deques), per-query scheduling state ([`QueryHandle`]:
+//!   priority, admitted DOP, cancellation) and per-worker dispatch counters;
 //! * [`profiler`] — per-operator execution feedback (time, worker, memory
 //!   claim) and query-level multi-core-utilization metrics;
 //! * [`noise`] — reproducible synthetic OS-noise injection for the
@@ -24,10 +27,12 @@ pub mod interpreter;
 pub mod noise;
 pub mod plan;
 pub mod profiler;
+pub mod scheduler;
 
 pub use chunk::{Chunk, QueryOutput};
 pub use error::{EngineError, Result};
-pub use executor::{Engine, EngineConfig, QueryExecution};
+pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions};
 pub use noise::{NoiseConfig, NoiseInjector};
 pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};
 pub use profiler::{OperatorProfile, QueryProfile};
+pub use scheduler::{QueryHandle, SchedulerPolicy, SchedulerStats, WorkerStats};

@@ -269,11 +269,13 @@ impl OperatorSpec {
             }
             OperatorSpec::IfThenElse { otherwise } => format!("else {otherwise}"),
             OperatorSpec::ProjectJoinSide { side } => format!("{side:?}"),
-            OperatorSpec::Calc { op, left_scalar, right_scalar } => match (left_scalar, right_scalar) {
-                (Some(s), None) => format!("{s} {} col", op.symbol()),
-                (None, Some(s)) => format!("col {} {s}", op.symbol()),
-                _ => format!("col {} col", op.symbol()),
-            },
+            OperatorSpec::Calc { op, left_scalar, right_scalar } => {
+                match (left_scalar, right_scalar) {
+                    (Some(s), None) => format!("{s} {} col", op.symbol()),
+                    (None, Some(s)) => format!("col {} {s}", op.symbol()),
+                    _ => format!("col {} col", op.symbol()),
+                }
+            }
             OperatorSpec::ScalarAgg { func }
             | OperatorSpec::FinalizeAgg { func }
             | OperatorSpec::GroupAgg { func } => func.name().to_string(),
@@ -350,7 +352,7 @@ impl Plan {
 
     /// True when the node id refers to a live node.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.get(id).map_or(false, Option::is_some)
+        self.nodes.get(id).is_some_and(Option::is_some)
     }
 
     /// Removes a node (its consumers must have been rewired first).
@@ -364,11 +366,7 @@ impl Plan {
 
     /// Ids of all live nodes, ascending.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| i))
-            .collect()
+        self.nodes.iter().enumerate().filter_map(|(i, n)| n.as_ref().map(|_| i)).collect()
     }
 
     /// Ids of the live nodes that consume `id`'s output, ascending.
@@ -376,9 +374,7 @@ impl Plan {
         self.nodes
             .iter()
             .enumerate()
-            .filter_map(|(i, n)| {
-                n.as_ref().and_then(|node| node.inputs.contains(&id).then_some(i))
-            })
+            .filter_map(|(i, n)| n.as_ref().and_then(|node| node.inputs.contains(&id).then_some(i)))
             .collect()
     }
 
@@ -441,12 +437,7 @@ impl Plan {
             for consumer in self.consumers(id) {
                 let d = in_deg.get_mut(&consumer).expect("present");
                 // A consumer may list the same producer several times.
-                let times = self
-                    .node(consumer)?
-                    .inputs
-                    .iter()
-                    .filter(|&&i| i == id)
-                    .count();
+                let times = self.node(consumer)?.inputs.iter().filter(|&&i| i == id).count();
                 *d -= times;
                 if *d == 0 {
                     queue.push_back(consumer);
@@ -462,9 +453,8 @@ impl Plan {
     /// Structural validation: root set and live, inputs live, arities valid,
     /// DAG acyclic.
     pub fn validate(&self) -> Result<()> {
-        let root = self
-            .root
-            .ok_or_else(|| EngineError::InvalidPlan("plan has no root".to_string()))?;
+        let root =
+            self.root.ok_or_else(|| EngineError::InvalidPlan("plan has no root".to_string()))?;
         if !self.contains(root) {
             return Err(EngineError::InvalidPlan(format!("root {root} is not a live node")));
         }
@@ -566,10 +556,8 @@ mod tests {
         // scan -> select -> (fetch from another scan) -> sum -> finalize
         let mut p = Plan::new();
         let s0 = p.add(scan("t", "a", 100), vec![]);
-        let sel = p.add(
-            OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) },
-            vec![s0],
-        );
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![s0]);
         let s1 = p.add(scan("t", "b", 100), vec![]);
         let fetch = p.add(OperatorSpec::Fetch, vec![sel, s1]);
         let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
@@ -595,10 +583,8 @@ mod tests {
         assert_eq!(p.consumers(5), Vec::<NodeId>::new());
         // Replace the fetch's oid input with a new select.
         let s0 = 0;
-        let sel2 = p.add(
-            OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 5i64) },
-            vec![s0],
-        );
+        let sel2 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 5i64) }, vec![s0]);
         p.replace_input(3, 1, sel2).unwrap();
         assert_eq!(p.consumers(sel2), vec![3]);
         assert!(p.consumers(1).is_empty());
@@ -611,12 +597,16 @@ mod tests {
     fn splice_input_expands_unions() {
         let mut p = Plan::new();
         let a = p.add(scan("t", "a", 10), vec![]);
-        let s1 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
-        let s2 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s1 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s2 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         let u = p.add(OperatorSpec::ExchangeUnion, vec![s1, s2]);
         p.set_root(u);
-        let s3 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
-        let s4 = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s3 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s4 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
         p.splice_input(u, s2, &[s3, s4]).unwrap();
         assert_eq!(p.node(u).unwrap().inputs, vec![s1, s3, s4]);
         assert!(p.splice_input(u, 999, &[s1]).is_err());

@@ -30,6 +30,11 @@ pub struct OperatorProfile {
     pub start_us: u64,
     /// Execution time in microseconds.
     pub duration_us: u64,
+    /// Time the operator spent queued between becoming runnable (all inputs
+    /// materialized) and starting execution, in microseconds. Separates
+    /// "operator was slow" from "operator sat in the queue" — the scheduler-
+    /// interference signal the adaptive convergence loop consumes.
+    pub queue_wait_us: u64,
     /// Index of the worker thread that executed the operator.
     pub worker: usize,
     /// Rows in the operator's output chunk.
@@ -45,6 +50,10 @@ pub struct QueryProfile {
     pub wall_time: Duration,
     /// Size of the worker pool that executed the query.
     pub n_workers: usize,
+    /// Number of *other* queries in flight on the engine when this query was
+    /// submitted. Zero means any queue wait in this profile is self-inflicted
+    /// (more ready tasks than workers), not cross-query interference.
+    pub concurrent_peers: usize,
     /// Per-operator profiles (every executed node appears exactly once).
     pub operators: Vec<OperatorProfile>,
 }
@@ -58,6 +67,26 @@ impl QueryProfile {
     /// Sum of all operator execution times ("total CPU core time").
     pub fn total_cpu_us(&self) -> u64 {
         self.operators.iter().map(|o| o.duration_us).sum()
+    }
+
+    /// Sum of all operator queue-wait times: how long ready work sat behind
+    /// other work (same query or concurrent queries) before a worker picked
+    /// it up. High values with low `total_cpu_us` indicate scheduler
+    /// interference rather than expensive operators.
+    pub fn total_queue_wait_us(&self) -> u64 {
+        self.operators.iter().map(|o| o.queue_wait_us).sum()
+    }
+
+    /// Fraction of the query's total in-system operator time (queue wait +
+    /// execution) that was queue wait. `0.0` on an idle machine; approaches
+    /// `1.0` when the query mostly waited for workers occupied elsewhere.
+    pub fn queue_wait_share(&self) -> f64 {
+        let wait = self.total_queue_wait_us() as f64;
+        let busy = self.total_cpu_us() as f64;
+        if wait + busy == 0.0 {
+            return 0.0;
+        }
+        wait / (wait + busy)
     }
 
     /// Parallelism usage: aggregate operator busy time divided by
@@ -116,12 +145,21 @@ impl QueryProfile {
     /// Exports the per-operator profile as CSV (header plus one line per
     /// executed operator) for offline analysis or plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("node,operator,worker,start_us,duration_us,rows_out,bytes_out\n");
+        let mut out = String::from(
+            "node,operator,worker,start_us,duration_us,queue_wait_us,rows_out,bytes_out\n",
+        );
         for op in &self.operators {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{}",
-                op.node, op.name, op.worker, op.start_us, op.duration_us, op.rows_out, op.bytes_out
+                "{},{},{},{},{},{},{},{}",
+                op.node,
+                op.name,
+                op.worker,
+                op.start_us,
+                op.duration_us,
+                op.queue_wait_us,
+                op.rows_out,
+                op.bytes_out
             );
         }
         out
@@ -183,14 +221,30 @@ fn family_char(name: &str) -> char {
 mod tests {
     use super::*;
 
-    fn op(node: NodeId, name: &'static str, start: u64, dur: u64, worker: usize) -> OperatorProfile {
-        OperatorProfile { node, name, start_us: start, duration_us: dur, worker, rows_out: 1, bytes_out: 8 }
+    fn op(
+        node: NodeId,
+        name: &'static str,
+        start: u64,
+        dur: u64,
+        worker: usize,
+    ) -> OperatorProfile {
+        OperatorProfile {
+            node,
+            name,
+            start_us: start,
+            duration_us: dur,
+            queue_wait_us: 5,
+            worker,
+            rows_out: 1,
+            bytes_out: 8,
+        }
     }
 
     fn sample() -> QueryProfile {
         QueryProfile {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
+            concurrent_peers: 0,
             operators: vec![
                 op(0, "scan", 0, 50, 0),
                 op(1, "select", 50, 400, 0),
@@ -206,6 +260,8 @@ mod tests {
         let p = sample();
         assert_eq!(p.wall_us(), 1000);
         assert_eq!(p.total_cpu_us(), 1050);
+        assert_eq!(p.total_queue_wait_us(), 25);
+        assert!((p.queue_wait_share() - 25.0 / 1075.0).abs() < 1e-9);
         assert!((p.parallelism_usage() - 1050.0 / 4000.0).abs() < 1e-9);
         assert_eq!(p.workers_used(), 2);
         assert!((p.multi_core_utilization() - 0.5).abs() < 1e-9);
@@ -253,11 +309,18 @@ mod tests {
 
     #[test]
     fn degenerate_profiles() {
-        let p = QueryProfile { wall_time: Duration::ZERO, n_workers: 0, operators: vec![] };
+        let p = QueryProfile {
+            wall_time: Duration::ZERO,
+            n_workers: 0,
+            concurrent_peers: 0,
+            operators: vec![],
+        };
         assert_eq!(p.total_cpu_us(), 0);
         assert_eq!(p.workers_used(), 0);
         assert_eq!(p.multi_core_utilization(), 0.0);
         assert!(p.most_expensive().is_none());
         assert!(p.parallelism_usage() <= 1.0);
+        assert_eq!(p.total_queue_wait_us(), 0);
+        assert_eq!(p.queue_wait_share(), 0.0);
     }
 }

@@ -1,0 +1,303 @@
+//! The shared-FIFO scheduling policy (the seed engine's behavior).
+//!
+//! All queries feed one MPMC queue; idle workers take the oldest ready task
+//! regardless of which query produced it. Simple and fair-ish, but with no
+//! locality (a consumer rarely runs where its producer ran) and no isolation
+//! (one partition-happy query floods the queue for everyone) — exactly the
+//! interference regime the paper's concurrent experiments study.
+//!
+//! A second, higher-priority lane serves queries with
+//! [`QueryHandle::priority`]` > 0`; it is drained before the normal lane.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+#[allow(unused_imports)] // rustdoc link target
+use super::QueryHandle;
+use super::{
+    DeferBackoff, Scheduler, SchedulerStats, SubmitTask, Task, TaskOrigin, WorkerCounters,
+    IDLE_PARK,
+};
+
+/// Shared-FIFO scheduler: one global queue (plus a priority lane) for every
+/// query in flight.
+pub struct GlobalQueue {
+    /// Senders live behind a mutex so `shutdown` can drop them, which
+    /// disconnects the channels and lets workers drain and exit.
+    lanes: Mutex<Option<Lanes>>,
+    normal_rx: Receiver<Task>,
+    high_rx: Receiver<Task>,
+    counters: Vec<WorkerCounters>,
+    shutdown: AtomicBool,
+}
+
+struct Lanes {
+    normal: Sender<Task>,
+    high: Sender<Task>,
+}
+
+impl GlobalQueue {
+    /// Creates the scheduler for `n_workers` worker threads.
+    pub fn new(n_workers: usize) -> Self {
+        let (normal_tx, normal_rx) = unbounded();
+        let (high_tx, high_rx) = unbounded();
+        GlobalQueue {
+            lanes: Mutex::new(Some(Lanes { normal: normal_tx, high: high_tx })),
+            normal_rx,
+            high_rx,
+            counters: (0..n_workers.max(1)).map(|_| WorkerCounters::default()).collect(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn enqueue(&self, mut task: Task, requeue: bool) -> bool {
+        if requeue {
+            task.requeued();
+        }
+        let lanes = self.lanes.lock();
+        match lanes.as_ref() {
+            Some(l) => {
+                let lane = if task.handle().priority() > 0 { &l.high } else { &l.normal };
+                lane.send(task).is_ok()
+            }
+            None => false,
+        }
+    }
+
+    /// Takes the next task, draining the priority lane first. Returns `None`
+    /// once both lanes are disconnected and empty.
+    fn next_task(&self) -> Option<(Task, TaskOrigin)> {
+        loop {
+            match self.high_rx.try_recv() {
+                Ok(task) => return Some((task, TaskOrigin::Injected)),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+            }
+            match self.normal_rx.recv_timeout(IDLE_PARK) {
+                Ok(task) => return Some((task, TaskOrigin::Injected)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Normal lane closed: serve any priority stragglers, then
+                    // exit.
+                    return match self.high_rx.try_recv() {
+                        Ok(task) => Some((task, TaskOrigin::Injected)),
+                        Err(_) => None,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl SubmitTask for GlobalQueue {
+    fn submit_task(&self, task: Task) {
+        // Follow-up tasks of a running query; shutdown cannot race a running
+        // query (the engine joins queries before dropping the scheduler), so
+        // a failed enqueue here would be a bug — surface it loudly.
+        assert!(self.enqueue(task, false), "task submitted to a shut-down GlobalQueue");
+    }
+}
+
+impl Scheduler for GlobalQueue {
+    fn name(&self) -> &'static str {
+        "global-queue"
+    }
+
+    fn submit(&self, task: Task) -> bool {
+        if self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        self.enqueue(task, false)
+    }
+
+    fn run_worker(&self, worker: usize) {
+        debug_assert!(worker < self.counters.len());
+        let mut backoff = DeferBackoff::default();
+        while let Some((task, origin)) = self.next_task() {
+            if !task.handle().acquire_slot() {
+                // The query already runs at its admitted DOP: push the task
+                // back and look for work from other queries.
+                if self.enqueue(task, true) {
+                    backoff.deferred(&self.counters[worker]);
+                    continue;
+                } else {
+                    // Queue already closed (cannot happen while queries run);
+                    // nothing to do with the task.
+                    return;
+                }
+            }
+            backoff.dispatched();
+            let queue_wait = task.queue_wait();
+            self.counters[worker].record(origin, queue_wait);
+            task.dispatch(worker, origin, queue_wait, self);
+        }
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Dropping the senders disconnects the channels; workers drain
+        // whatever is queued and then exit.
+        self.lanes.lock().take();
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            policy: self.name(),
+            workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::QueryHandle;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn handle(id: u64, priority: u8, dop: usize) -> Arc<QueryHandle> {
+        Arc::new(QueryHandle::new(id, priority, dop))
+    }
+
+    #[test]
+    fn executes_submitted_tasks_and_counts_them() {
+        let sched = Arc::new(GlobalQueue::new(2));
+        let executed = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let executed = Arc::clone(&executed);
+            assert!(sched.submit(Task::new(handle(i, 0, 0), move |_ctx| {
+                executed.fetch_add(1, Ordering::AcqRel);
+            })));
+        }
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let sched = Arc::clone(&sched);
+                std::thread::spawn(move || sched.run_worker(w))
+            })
+            .collect();
+        while executed.load(Ordering::Acquire) < 10 {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.total_executed(), 10);
+        assert_eq!(stats.total_injector_hits(), 10, "all global-queue hits count as injected");
+        assert_eq!(stats.total_local_hits(), 0);
+        assert_eq!(stats.total_steals(), 0);
+        assert!(!sched.submit(Task::new(handle(99, 0, 0), |_ctx| {})), "post-shutdown submit");
+    }
+
+    #[test]
+    fn follow_up_tasks_run_via_the_context() {
+        let sched = Arc::new(GlobalQueue::new(1));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let h = handle(1, 0, 0);
+        let ex2 = Arc::clone(&executed);
+        let h2 = Arc::clone(&h);
+        assert!(sched.submit(Task::new(Arc::clone(&h), move |ctx| {
+            let ex3 = Arc::clone(&ex2);
+            ctx.submit(Task::new(h2, move |_ctx| {
+                ex3.fetch_add(10, Ordering::AcqRel);
+            }));
+            ex2.fetch_add(1, Ordering::AcqRel);
+        })));
+        let s2 = Arc::clone(&sched);
+        let worker = std::thread::spawn(move || s2.run_worker(0));
+        while executed.load(Ordering::Acquire) < 11 {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        worker.join().unwrap();
+        assert_eq!(executed.load(Ordering::Acquire), 11);
+    }
+
+    #[test]
+    fn priority_lane_is_served_first() {
+        let sched = Arc::new(GlobalQueue::new(1));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        // Enqueue normal tasks first, then priority tasks, before any worker
+        // runs: the priority tasks must still be dispatched first.
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            sched.submit(Task::new(handle(i, 0, 0), move |_ctx| order.lock().push(("normal", i))));
+        }
+        for i in 0..2 {
+            let order = Arc::clone(&order);
+            sched.submit(Task::new(handle(10 + i, 1, 0), move |_ctx| {
+                order.lock().push(("high", i))
+            }));
+        }
+        let s2 = Arc::clone(&sched);
+        let worker = std::thread::spawn(move || s2.run_worker(0));
+        while order.lock().len() < 5 {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        worker.join().unwrap();
+        let got = order.lock().clone();
+        assert_eq!(got[0].0, "high");
+        assert_eq!(got[1].0, "high");
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker_or_leak_its_dop_slot() {
+        let sched = Arc::new(GlobalQueue::new(1));
+        let h = handle(1, 0, 1); // DOP 1: a leaked slot would deadlock task 2
+        let executed = Arc::new(AtomicUsize::new(0));
+        sched.submit(Task::new(Arc::clone(&h), |_ctx| panic!("boom")));
+        let ex = Arc::clone(&executed);
+        sched.submit(Task::new(Arc::clone(&h), move |_ctx| {
+            ex.fetch_add(1, Ordering::AcqRel);
+        }));
+        let s2 = Arc::clone(&sched);
+        let worker = std::thread::spawn(move || s2.run_worker(0));
+        while executed.load(Ordering::Acquire) < 1 {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        worker.join().expect("worker survived the panicking task");
+        assert_eq!(h.running(), 0, "panicking task leaked its DOP slot");
+        assert_eq!(sched.stats().total_executed(), 2);
+    }
+
+    #[test]
+    fn dop_cap_defers_but_eventually_runs_everything() {
+        let sched = Arc::new(GlobalQueue::new(2));
+        let h = handle(5, 0, 1); // at most one task of this query at a time
+        let executed = Arc::new(AtomicUsize::new(0));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let executed = Arc::clone(&executed);
+            let concurrent = Arc::clone(&concurrent);
+            let max_seen = Arc::clone(&max_seen);
+            sched.submit(Task::new(Arc::clone(&h), move |_ctx| {
+                let now = concurrent.fetch_add(1, Ordering::AcqRel) + 1;
+                max_seen.fetch_max(now, Ordering::AcqRel);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                concurrent.fetch_sub(1, Ordering::AcqRel);
+                executed.fetch_add(1, Ordering::AcqRel);
+            }));
+        }
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let sched = Arc::clone(&sched);
+                std::thread::spawn(move || sched.run_worker(w))
+            })
+            .collect();
+        while executed.load(Ordering::Acquire) < 6 {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(executed.load(Ordering::Acquire), 6);
+        assert_eq!(max_seen.load(Ordering::Acquire), 1, "admitted DOP 1 was exceeded");
+        assert!(sched.stats().total_dop_deferrals() > 0);
+    }
+}

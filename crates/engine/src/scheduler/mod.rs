@@ -1,0 +1,532 @@
+//! Pluggable task scheduling for the execution engine.
+//!
+//! The paper's run-time environment separates *what* runs (dataflow
+//! dependency tracking in [`crate::executor`]) from *where and when* it runs
+//! (the scheduler). This module makes the second half pluggable:
+//!
+//! * [`Scheduler`] — the policy interface: accept ready tasks, hand them to
+//!   worker threads, expose per-worker counters;
+//! * [`global::GlobalQueue`] — the original shared-FIFO policy (all queries
+//!   feed one MPMC queue; default, byte-compatible with the seed engine);
+//! * [`stealing::WorkStealing`] — per-worker deques with an injector for
+//!   cross-query submission and local-first pop for cache locality, the
+//!   work-stealing idiom of §4.1.1 (and of noria's sharded workers);
+//! * [`QueryHandle`] — per-query scheduling state: query id, priority,
+//!   admitted degree of parallelism, and a cancellation flag, so admission
+//!   control ([`crate::executor::Engine::execute_with_handle`]) is a real
+//!   scheduler policy rather than a plan-rewriting shim;
+//! * [`SchedulerStats`] / [`WorkerStats`] — per-worker `local` / `steal` /
+//!   `inject` hit counters plus accumulated queue-wait time.
+//!
+//! **Queue-wait feedback.** Every task records the time between becoming
+//! runnable (all inputs materialized) and starting execution. The executor
+//! writes it into [`crate::profiler::OperatorProfile::queue_wait_us`],
+//! separating "the operator was slow" from "the operator sat in the queue" —
+//! the signal the adaptive convergence loop uses to avoid debiting a plan for
+//! scheduler interference it did not cause (paper §4.2.3's concurrent-
+//! workload analysis).
+//!
+//! Both policies guarantee identical query *results*: dependency order is
+//! enforced by the executor's atomic dependency counters, never by queue
+//! order. The policies differ only in locality, fairness and contention.
+
+pub mod global;
+pub mod stealing;
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which scheduling policy an engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// One shared MPMC FIFO for all queries (the seed engine's behavior).
+    #[default]
+    GlobalQueue,
+    /// Per-worker deques + injector with local-first pop and stealing.
+    WorkStealing,
+}
+
+impl fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerPolicy::GlobalQueue => f.write_str("global-queue"),
+            SchedulerPolicy::WorkStealing => f.write_str("work-stealing"),
+        }
+    }
+}
+
+impl SchedulerPolicy {
+    /// All selectable policies (used by experiments sweeping over them).
+    pub const ALL: [SchedulerPolicy; 2] =
+        [SchedulerPolicy::GlobalQueue, SchedulerPolicy::WorkStealing];
+
+    /// Builds a scheduler instance for `n_workers` worker threads.
+    pub(crate) fn build(self, n_workers: usize) -> Arc<dyn Scheduler> {
+        match self {
+            SchedulerPolicy::GlobalQueue => Arc::new(global::GlobalQueue::new(n_workers)),
+            SchedulerPolicy::WorkStealing => Arc::new(stealing::WorkStealing::new(n_workers)),
+        }
+    }
+}
+
+/// Per-query scheduling state, shared between the submitting client, the
+/// scheduler and every task of the query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: u64,
+    priority: u8,
+    admitted_dop: AtomicUsize,
+    cancelled: AtomicBool,
+    running: AtomicUsize,
+}
+
+impl QueryHandle {
+    /// Creates a handle. `admitted_dop == 0` means "no per-query cap".
+    pub(crate) fn new(id: u64, priority: u8, admitted_dop: usize) -> Self {
+        QueryHandle {
+            id,
+            priority,
+            admitted_dop: AtomicUsize::new(admitted_dop),
+            cancelled: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+        }
+    }
+
+    /// Engine-assigned query id (unique per engine instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Scheduling priority; tasks of priority `> 0` are dispatched before
+    /// normal-priority tasks waiting in the same shared queue.
+    pub fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// Admitted degree of parallelism: at most this many tasks of the query
+    /// execute simultaneously (`0` = unlimited). This is how admission
+    /// control becomes a scheduler policy — the plan can stay maximally
+    /// parallel while the scheduler throttles its concurrent footprint.
+    pub fn admitted_dop(&self) -> usize {
+        self.admitted_dop.load(Ordering::Acquire)
+    }
+
+    /// Re-grants the admitted degree of parallelism mid-flight (e.g. when
+    /// another client leaves and resources free up).
+    pub fn set_admitted_dop(&self, dop: usize) {
+        self.admitted_dop.store(dop, Ordering::Release);
+    }
+
+    /// Requests cancellation: tasks already running finish, queued tasks of
+    /// the query fail it with [`crate::EngineError::Cancelled`] on dispatch.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`QueryHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Number of this query's tasks currently executing.
+    pub fn running(&self) -> usize {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Atomically claims an execution slot for one task. Fails (without
+    /// side effects) when the query already runs at its admitted DOP; always
+    /// succeeds for uncapped or cancelled queries (cancelled tasks must run
+    /// so the failure propagates). A `true` return obligates the caller to
+    /// dispatch the task, which releases the slot on completion.
+    pub(crate) fn acquire_slot(&self) -> bool {
+        let cap = self.admitted_dop.load(Ordering::Acquire);
+        if cap == 0 || self.is_cancelled() {
+            self.running.fetch_add(1, Ordering::AcqRel);
+            return true;
+        }
+        self.running
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |running| {
+                (running < cap).then_some(running + 1)
+            })
+            .is_ok()
+    }
+
+    pub(crate) fn task_finished(&self) {
+        self.running.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Where a dispatched task came from, from the executing worker's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOrigin {
+    /// Popped from the executing worker's own local deque.
+    Local,
+    /// Stolen from another worker's deque.
+    Stolen,
+    /// Taken from the shared queue / injector.
+    Injected,
+}
+
+/// Execution context handed to a running task.
+pub struct TaskContext<'a> {
+    /// Index of the executing worker thread.
+    pub worker: usize,
+    /// Time the task spent between submission and dispatch.
+    pub queue_wait: Duration,
+    /// Which queue the task was dispatched from.
+    pub origin: TaskOrigin,
+    submitter: &'a dyn SubmitTask,
+}
+
+impl TaskContext<'_> {
+    /// Submits a follow-up task from inside a running task. Work-stealing
+    /// schedulers push it onto the executing worker's local deque (cache
+    /// locality: the consumer of a chunk runs where the chunk was produced,
+    /// unless stolen).
+    pub fn submit(&self, task: Task) {
+        self.submitter.submit_task(task);
+    }
+}
+
+/// Internal: how a context forwards follow-up tasks.
+pub(crate) trait SubmitTask {
+    fn submit_task(&self, task: Task);
+}
+
+/// A unit of schedulable work: one ready plan operator of one query.
+pub struct Task {
+    run: Box<dyn FnOnce(&TaskContext<'_>) + Send>,
+    handle: Arc<QueryHandle>,
+    submitted_at: Instant,
+}
+
+impl Task {
+    /// Creates a task bound to a query handle.
+    pub fn new(
+        handle: Arc<QueryHandle>,
+        run: impl FnOnce(&TaskContext<'_>) + Send + 'static,
+    ) -> Self {
+        Task { run: Box::new(run), handle, submitted_at: Instant::now() }
+    }
+
+    /// The owning query's handle.
+    pub fn handle(&self) -> &Arc<QueryHandle> {
+        &self.handle
+    }
+
+    /// Resets the wait clock; called when a task is re-queued for policy
+    /// reasons (DOP cap) so the second wait does not double-count.
+    pub(crate) fn requeued(&mut self) {
+        self.submitted_at = Instant::now();
+    }
+
+    /// Time elapsed since the task was (re-)submitted.
+    pub(crate) fn queue_wait(&self) -> Duration {
+        self.submitted_at.elapsed()
+    }
+
+    /// Runs the task. The caller must have claimed an execution slot via
+    /// [`QueryHandle::acquire_slot`]; dispatch releases it on completion.
+    ///
+    /// A panicking task must not kill the worker thread (the pool is shared
+    /// by every client) nor leak the DOP slot, so the panic is contained
+    /// here. The executor's task body additionally converts panics into a
+    /// query-level [`crate::EngineError::WorkerPanicked`] failure so the
+    /// submitting client is woken rather than left waiting forever.
+    pub(crate) fn dispatch(
+        self,
+        worker: usize,
+        origin: TaskOrigin,
+        queue_wait: Duration,
+        submitter: &dyn SubmitTask,
+    ) {
+        let ctx = TaskContext { worker, queue_wait, origin, submitter };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)(&ctx)));
+        self.handle.task_finished();
+        if result.is_err() {
+            // Swallowed by design: the worker must survive. The query itself
+            // was already failed by the task body's own panic handler.
+        }
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task").field("query", &self.handle.id()).finish()
+    }
+}
+
+/// The scheduling-policy interface.
+///
+/// The executor tracks dataflow dependencies and submits a [`Task`] exactly
+/// when it becomes runnable; the scheduler decides which worker runs it when.
+/// Implementations must run every submitted task exactly once (until
+/// [`Scheduler::shutdown`]), but are free to reorder arbitrarily — dependency
+/// order is the executor's responsibility, not the scheduler's.
+pub trait Scheduler: Send + Sync {
+    /// Policy name (stable, for reports).
+    fn name(&self) -> &'static str;
+
+    /// Submits a task from outside the worker pool (query seeding). Returns
+    /// `false` when the scheduler has been shut down.
+    fn submit(&self, task: Task) -> bool;
+
+    /// Runs worker `worker`'s dispatch loop until shutdown. Called exactly
+    /// once per worker index, from that worker's thread.
+    fn run_worker(&self, worker: usize);
+
+    /// Asks all workers to exit once the queues are drained of runnable work.
+    fn shutdown(&self);
+
+    /// Snapshot of the per-worker counters.
+    fn stats(&self) -> SchedulerStats;
+}
+
+/// Per-worker counters, updated by the dispatch loops.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCounters {
+    pub(crate) executed: AtomicU64,
+    pub(crate) local_hits: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) injector_hits: AtomicU64,
+    pub(crate) queue_wait_us: AtomicU64,
+    pub(crate) dop_deferrals: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            injector_hits: self.injector_hits.load(Ordering::Relaxed),
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            dop_deferrals: self.dop_deferrals.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record(&self, origin: TaskOrigin, queue_wait: Duration) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        match origin {
+            TaskOrigin::Local => self.local_hits.fetch_add(1, Ordering::Relaxed),
+            TaskOrigin::Stolen => self.steals.fetch_add(1, Ordering::Relaxed),
+            TaskOrigin::Injected => self.injector_hits.fetch_add(1, Ordering::Relaxed),
+        };
+        self.queue_wait_us.fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one worker's dispatch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub executed: u64,
+    /// Tasks popped from the worker's own deque (work-stealing only).
+    pub local_hits: u64,
+    /// Tasks stolen from sibling workers' deques (work-stealing only).
+    pub steals: u64,
+    /// Tasks taken from the shared queue / injector.
+    pub injector_hits: u64,
+    /// Total time tasks executed by this worker spent queued, microseconds.
+    pub queue_wait_us: u64,
+    /// Times a task was re-queued because its query hit its admitted DOP.
+    pub dop_deferrals: u64,
+}
+
+/// Snapshot of a scheduler's per-worker counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Policy name ([`Scheduler::name`]).
+    pub policy: &'static str,
+    /// One entry per worker thread, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SchedulerStats {
+    /// Total tasks executed across workers.
+    pub fn total_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Total local-deque hits across workers.
+    pub fn total_local_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.local_hits).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total shared-queue / injector hits across workers.
+    pub fn total_injector_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.injector_hits).sum()
+    }
+
+    /// Total queued time across all executed tasks, microseconds.
+    pub fn total_queue_wait_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue_wait_us).sum()
+    }
+
+    /// Total DOP-cap deferrals across workers.
+    pub fn total_dop_deferrals(&self) -> u64 {
+        self.workers.iter().map(|w| w.dop_deferrals).sum()
+    }
+
+    /// Fraction of executed tasks that ran on the worker that enqueued them
+    /// (locality; meaningful for the work-stealing policy).
+    pub fn locality(&self) -> f64 {
+        let executed = self.total_executed();
+        if executed == 0 {
+            return 0.0;
+        }
+        self.total_local_hits() as f64 / executed as f64
+    }
+}
+
+/// How long an idle worker sleeps between queue re-scans. A submission
+/// notifies sleepers immediately; the timeout only bounds the staleness of
+/// the shutdown check and of DOP-cap re-evaluation.
+pub(crate) const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Shared backoff for DOP-cap deferrals, so both dispatch loops keep
+/// identical policy: a worker that keeps popping tasks of a capped query
+/// re-queues them, and after `LIMIT` consecutive deferrals sleeps one
+/// [`IDLE_PARK`] instead of spinning (the capped query's running tasks
+/// finish on other workers and free the cap).
+#[derive(Default)]
+pub(crate) struct DeferBackoff {
+    streak: u32,
+}
+
+impl DeferBackoff {
+    const LIMIT: u32 = 8;
+
+    /// Records one deferral in the worker's counters and sleeps briefly when
+    /// the worker has deferred [`Self::LIMIT`] tasks in a row.
+    pub(crate) fn deferred(&mut self, counters: &WorkerCounters) {
+        counters.dop_deferrals.fetch_add(1, Ordering::Relaxed);
+        self.streak += 1;
+        if self.streak > Self::LIMIT {
+            std::thread::sleep(IDLE_PARK);
+            self.streak = 0;
+        }
+    }
+
+    /// Resets the streak after a successful dispatch.
+    pub(crate) fn dispatched(&mut self) {
+        self.streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_display_and_default() {
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::GlobalQueue);
+        assert_eq!(SchedulerPolicy::GlobalQueue.to_string(), "global-queue");
+        assert_eq!(SchedulerPolicy::WorkStealing.to_string(), "work-stealing");
+        assert_eq!(SchedulerPolicy::ALL.len(), 2);
+    }
+
+    #[test]
+    fn query_handle_state_machine() {
+        let h = QueryHandle::new(7, 2, 3);
+        assert_eq!(h.id(), 7);
+        assert_eq!(h.priority(), 2);
+        assert_eq!(h.admitted_dop(), 3);
+        assert!(!h.is_cancelled());
+        assert_eq!(h.running(), 0);
+        assert!(h.acquire_slot());
+        assert!(h.acquire_slot());
+        assert!(h.acquire_slot());
+        assert!(!h.acquire_slot(), "fourth slot beyond admitted DOP 3");
+        assert_eq!(h.running(), 3);
+        h.task_finished();
+        assert!(h.acquire_slot());
+        h.set_admitted_dop(0);
+        assert!(h.acquire_slot(), "dop 0 means unlimited");
+        assert!(h.acquire_slot());
+        h.cancel();
+        assert!(h.is_cancelled());
+        assert!(h.acquire_slot(), "cancelled tasks always dispatch");
+    }
+
+    #[test]
+    fn slot_acquisition_is_race_free() {
+        let h = Arc::new(QueryHandle::new(1, 0, 2));
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                let acquired = Arc::clone(&acquired);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        if h.acquire_slot() {
+                            let now = acquired.fetch_add(1, Ordering::AcqRel) + 1;
+                            assert!(now <= 2, "DOP cap 2 exceeded: {now} slots live");
+                            acquired.fetch_sub(1, Ordering::AcqRel);
+                            h.task_finished();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.running(), 0);
+    }
+
+    #[test]
+    fn worker_counters_accumulate_by_origin() {
+        let c = WorkerCounters::default();
+        c.record(TaskOrigin::Local, Duration::from_micros(10));
+        c.record(TaskOrigin::Stolen, Duration::from_micros(20));
+        c.record(TaskOrigin::Injected, Duration::from_micros(30));
+        let s = c.snapshot();
+        assert_eq!(s.executed, 3);
+        assert_eq!(s.local_hits, 1);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.injector_hits, 1);
+        assert_eq!(s.queue_wait_us, 60);
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let stats = SchedulerStats {
+            policy: "test",
+            workers: vec![
+                WorkerStats {
+                    executed: 4,
+                    local_hits: 3,
+                    steals: 1,
+                    injector_hits: 0,
+                    queue_wait_us: 100,
+                    dop_deferrals: 2,
+                },
+                WorkerStats {
+                    executed: 6,
+                    local_hits: 3,
+                    steals: 2,
+                    injector_hits: 1,
+                    queue_wait_us: 50,
+                    dop_deferrals: 0,
+                },
+            ],
+        };
+        assert_eq!(stats.total_executed(), 10);
+        assert_eq!(stats.total_local_hits(), 6);
+        assert_eq!(stats.total_steals(), 3);
+        assert_eq!(stats.total_injector_hits(), 1);
+        assert_eq!(stats.total_queue_wait_us(), 150);
+        assert_eq!(stats.total_dop_deferrals(), 2);
+        assert!((stats.locality() - 0.6).abs() < 1e-12);
+        let empty = SchedulerStats { policy: "t", workers: vec![] };
+        assert_eq!(empty.locality(), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the pluggable scheduler: under arbitrary partition
+//! counts, worker counts and scheduling policies, dataflow dependency order
+//! is never violated and results are identical across policies.
+//!
+//! Dependency order is checked two ways:
+//! * structurally — the executor fails a query loudly ("scheduled before its
+//!   input completed") if a consumer ever dispatches before a producer
+//!   published its chunk, so a successful run *is* evidence;
+//! * temporally — every operator's profiled start must lie at or after each
+//!   of its producers' profiled end (both clocks share the query's start
+//!   instant).
+
+use std::sync::Arc;
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, ScalarValue, TableBuilder};
+use apq_engine::plan::OperatorSpec;
+use apq_engine::{Engine, EngineConfig, Plan, QueryOutput, SchedulerPolicy};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+use proptest::prelude::*;
+
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("t")
+            .i64_column("a", (0..rows as i64).map(|v| (v * 7919) % 1000).collect())
+            .i64_column("b", (0..rows as i64).map(|v| v % 101).collect())
+            .build()
+            .unwrap(),
+    );
+    Arc::new(c)
+}
+
+/// Partitioned select/fetch/sum plan over `rows` rows in `partitions` slices
+/// of uneven sizes (the `skew` knob shifts the cut points).
+fn partitioned_plan(rows: usize, partitions: usize, threshold: i64, skew: usize) -> Plan {
+    let mut p = Plan::new();
+    let b = p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: "b".into(),
+            range: RowRange::new(0, rows),
+        },
+        vec![],
+    );
+    let mut aggs = Vec::new();
+    let mut start = 0usize;
+    for i in 0..partitions {
+        let remaining = rows - start;
+        let parts_left = partitions - i;
+        let base = remaining / parts_left;
+        // Uneven cuts: early partitions grow with `skew`, bounded so later
+        // partitions keep at least one row.
+        let len = if parts_left == 1 {
+            remaining
+        } else {
+            (base + (skew % (base + 1))).min(remaining - (parts_left - 1))
+        };
+        let end = start + len.max(1);
+        let scan = p.add(
+            OperatorSpec::ScanColumn {
+                table: "t".into(),
+                column: "a".into(),
+                range: RowRange::new(start, end),
+            },
+            vec![],
+        );
+        let sel = p.add(
+            OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) },
+            vec![scan],
+        );
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        aggs.push(agg);
+        start = end;
+    }
+    let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, aggs);
+    p.set_root(fin);
+    p
+}
+
+fn expected_sum(catalog: &Catalog, rows: usize, threshold: i64) -> i64 {
+    let t = catalog.table("t").unwrap();
+    let a = t.column("a").unwrap().i64_values().unwrap();
+    let b = t.column("b").unwrap().i64_values().unwrap();
+    (0..rows).filter(|&i| a[i] < threshold).map(|i| b[i]).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Work-stealing never violates dependency order: structurally (the run
+    /// succeeds) and temporally (consumers start after producers end), for
+    /// arbitrary partitioning, worker counts and skews.
+    #[test]
+    fn dependency_order_holds_under_stealing(rows in 500usize..4_000,
+                                             partitions in 1usize..12,
+                                             workers in 1usize..5,
+                                             threshold in 1i64..1000,
+                                             skew in 0usize..1000) {
+        let cat = catalog(rows);
+        let plan = partitioned_plan(rows, partitions.min(rows), threshold, skew);
+        plan.validate().unwrap();
+        let engine = Engine::new(
+            EngineConfig::with_workers(workers).with_scheduler(SchedulerPolicy::WorkStealing),
+        );
+        let exec = engine.execute(&plan, &cat).unwrap();
+        prop_assert_eq!(
+            &exec.output,
+            &QueryOutput::Scalar(ScalarValue::I64(expected_sum(&cat, rows, threshold)))
+        );
+        // Temporal dependency check over every profiled edge.
+        for node in plan.node_ids() {
+            let consumer = exec.profile.operator(node).expect("every node profiled");
+            for &input in &plan.node(node).unwrap().inputs {
+                let producer = exec.profile.operator(input).expect("input profiled");
+                prop_assert!(
+                    consumer.start_us >= producer.start_us + producer.duration_us,
+                    "node {} started at {}us before its input {} finished at {}us",
+                    node, consumer.start_us, input,
+                    producer.start_us + producer.duration_us
+                );
+            }
+        }
+    }
+
+    /// Both policies agree with each other bit-for-bit on the query output.
+    #[test]
+    fn policies_agree_on_results(rows in 500usize..3_000,
+                                 partitions in 1usize..10,
+                                 threshold in 1i64..1000) {
+        let cat = catalog(rows);
+        let plan = Arc::new(partitioned_plan(rows, partitions.min(rows), threshold, 0));
+        let mut outputs = Vec::new();
+        for policy in SchedulerPolicy::ALL {
+            let engine = Engine::new(EngineConfig::with_workers(3).with_scheduler(policy));
+            outputs.push(engine.execute_shared(&plan, &cat).unwrap().output);
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Regression test for candidate-stream alignment under plan mutation.
+//!
+//! The adaptive optimizer's medium mutation may clone a position-emitting
+//! consumer (a hash probe) over `SlicePart` partitions of a *candidate
+//! stream* (a fetch output ordered by an oid list rather than by base-table
+//! position). The seed engine forgot each partition's offset within the
+//! stream: the cloned probe on partition 2 emitted outer oids starting at 0
+//! instead of at the partition boundary, so downstream fetches paired rows
+//! from the wrong partition — group sums silently redistributed across
+//! groups (observed as a rare `ResultMismatch` on TPC-DS Q42-shape queries,
+//! reachable only through contention-skewed mutation sequences).
+//!
+//! The fix threads a `stream_base` through `Chunk::Oids` / `Chunk::Join` and
+//! into fetch outputs' base oids. This test executes the exact pre-/post-
+//! mutation plan shapes deterministically and asserts identical results.
+
+use std::sync::Arc;
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, TableBuilder};
+use apq_engine::plan::{JoinSide, OperatorSpec, Plan};
+use apq_engine::{Engine, QueryOutput};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+/// Catalog with a fact table whose `fk` joins a small dimension, plus a
+/// per-row measure and group key.
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("fact")
+            .i64_column("fk", (0..rows as i64).map(|v| (v * 13) % 50).collect())
+            .i64_column("measure", (0..rows as i64).map(|v| v % 1000).collect())
+            .i64_column("grp", (0..rows as i64).map(|v| (v * 7) % 5).collect())
+            .build()
+            .unwrap(),
+    );
+    c.register(
+        TableBuilder::new("dim")
+            .i64_column("key", (0..20).collect()) // matches fk values 0..20
+            .build()
+            .unwrap(),
+    );
+    Arc::new(c)
+}
+
+/// Plan mirroring the fatal TPC-DS shape. `split` controls the mutated
+/// variant: `None` probes the whole candidate stream through one join;
+/// `Some(k)` clones the probe over the stream sliced at `k` (what the medium
+/// mutation produces), unioning the per-partition join results.
+fn probe_over_stream_plan(rows: usize, selected_max: i64, split: Option<usize>) -> Plan {
+    let mut p = Plan::new();
+    let full = RowRange::new(0, rows);
+    let scan = |col: &str| OperatorSpec::ScanColumn {
+        table: "fact".into(),
+        column: col.into(),
+        range: full,
+    };
+
+    // Candidate stream: rows with grp < selected_max, in base order.
+    let grp = p.add(scan("grp"), vec![]);
+    let cands = p.add(
+        OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, selected_max) },
+        vec![grp],
+    );
+
+    // Streams fetched through the candidate list (positionally aligned).
+    let fk_col = p.add(scan("fk"), vec![]);
+    let measure_col = p.add(scan("measure"), vec![]);
+    let measure_stream = p.add(OperatorSpec::Fetch, vec![cands, measure_col]);
+    let grp_stream = p.add(OperatorSpec::Fetch, vec![cands, grp]);
+
+    // Dimension hash.
+    let dim_key = p.add(
+        OperatorSpec::ScanColumn {
+            table: "dim".into(),
+            column: "key".into(),
+            range: RowRange::new(0, 20),
+        },
+        vec![],
+    );
+    let hash = p.add(OperatorSpec::HashBuild, vec![dim_key]);
+
+    // Probe the fk stream — whole, or cloned over two partitions of the
+    // *candidate list* (the exact shape the medium mutation produces: the
+    // oid list is sliced first, each partition fetched separately, and the
+    // probe cloned per partition).
+    let join_union = match split {
+        None => {
+            let fk_stream = p.add(OperatorSpec::Fetch, vec![cands, fk_col]);
+            p.add(OperatorSpec::HashProbe, vec![fk_stream, hash])
+        }
+        Some(k) => {
+            let cands1 = p.add(OperatorSpec::SlicePart { start: 0, len: k }, vec![cands]);
+            let cands2 = p.add(OperatorSpec::SlicePart { start: k, len: rows }, vec![cands]);
+            let fk1 = p.add(OperatorSpec::Fetch, vec![cands1, fk_col]);
+            let fk2 = p.add(OperatorSpec::Fetch, vec![cands2, fk_col]);
+            let j1 = p.add(OperatorSpec::HashProbe, vec![fk1, hash]);
+            let j2 = p.add(OperatorSpec::HashProbe, vec![fk2, hash]);
+            p.add(OperatorSpec::ExchangeUnion, vec![j1, j2])
+        }
+    };
+
+    // Surviving stream positions → pair group keys with measures.
+    let outer = p.add(OperatorSpec::ProjectJoinSide { side: JoinSide::Outer }, vec![join_union]);
+    let grp_j = p.add(OperatorSpec::Fetch, vec![outer, grp_stream]);
+    let measure_j = p.add(OperatorSpec::Fetch, vec![outer, measure_stream]);
+    let grouped = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![grp_j, measure_j]);
+    let merged = p.add(OperatorSpec::MergeGrouped, vec![grouped]);
+    p.set_root(merged);
+    p
+}
+
+#[test]
+fn probe_cloned_over_stream_partitions_matches_the_unsplit_plan() {
+    let rows = 4_000;
+    let cat = catalog(rows);
+    let engine = Engine::with_workers(3);
+
+    let whole = probe_over_stream_plan(rows, 4, None);
+    let expected = engine.execute(&whole, &cat).expect("unsplit plan executes").output;
+    assert!(matches!(expected, QueryOutput::Groups(ref g) if !g.is_empty()));
+
+    // Several cut points, including lopsided ones.
+    for k in [1, 7, 100, 1_000, 2_000] {
+        let split = probe_over_stream_plan(rows, 4, Some(k));
+        split.validate().expect("split plan is valid");
+        let out = engine.execute(&split, &cat).expect("split plan executes").output;
+        assert_eq!(
+            out, expected,
+            "probe cloned over stream partitions (cut at {k}) redistributed rows"
+        );
+    }
+}
+
+#[test]
+fn sliced_join_results_keep_their_stream_offset() {
+    // The same invariant one level up: slicing a *join result* and projecting
+    // its sides must agree with projecting the whole result.
+    let rows = 2_000;
+    let cat = catalog(rows);
+    let engine = Engine::with_workers(2);
+
+    let mut whole = Plan::new();
+    let full = RowRange::new(0, rows);
+    let fk = whole.add(
+        OperatorSpec::ScanColumn { table: "fact".into(), column: "fk".into(), range: full },
+        vec![],
+    );
+    let dim = whole.add(
+        OperatorSpec::ScanColumn {
+            table: "dim".into(),
+            column: "key".into(),
+            range: RowRange::new(0, 20),
+        },
+        vec![],
+    );
+    let hash = whole.add(OperatorSpec::HashBuild, vec![dim]);
+    let join = whole.add(OperatorSpec::HashProbe, vec![fk, hash]);
+    let outer = whole.add(OperatorSpec::ProjectJoinSide { side: JoinSide::Outer }, vec![join]);
+    let measure = whole.add(
+        OperatorSpec::ScanColumn { table: "fact".into(), column: "measure".into(), range: full },
+        vec![],
+    );
+    let fetched = whole.add(OperatorSpec::Fetch, vec![outer, measure]);
+    let agg = whole.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetched]);
+    let fin = whole.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    whole.set_root(fin);
+    let expected = engine.execute(&whole, &cat).expect("whole executes").output;
+
+    // Same pipeline, but the join result is sliced into two windows whose
+    // projections are fetched and summed independently.
+    let mut split = Plan::new();
+    let fk = split.add(
+        OperatorSpec::ScanColumn { table: "fact".into(), column: "fk".into(), range: full },
+        vec![],
+    );
+    let dim = split.add(
+        OperatorSpec::ScanColumn {
+            table: "dim".into(),
+            column: "key".into(),
+            range: RowRange::new(0, 20),
+        },
+        vec![],
+    );
+    let hash = split.add(OperatorSpec::HashBuild, vec![dim]);
+    let join = split.add(OperatorSpec::HashProbe, vec![fk, hash]);
+    let measure = split.add(
+        OperatorSpec::ScanColumn { table: "fact".into(), column: "measure".into(), range: full },
+        vec![],
+    );
+    let mut partials = Vec::new();
+    for (start, len) in [(0, 123), (123, rows)] {
+        let window = split.add(OperatorSpec::SlicePart { start, len }, vec![join]);
+        let outer =
+            split.add(OperatorSpec::ProjectJoinSide { side: JoinSide::Outer }, vec![window]);
+        let fetched = split.add(OperatorSpec::Fetch, vec![outer, measure]);
+        partials.push(split.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetched]));
+    }
+    let fin = split.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, partials);
+    split.set_root(fin);
+    split.validate().expect("split plan is valid");
+
+    let out = engine.execute(&split, &cat).expect("split executes").output;
+    assert_eq!(out, expected, "sliced join windows lost their stream offsets");
+}

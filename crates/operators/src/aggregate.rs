@@ -291,12 +291,8 @@ impl GroupedAgg {
     /// Groups sorted by key with their finalized values — the deterministic
     /// result representation used to compare serial and parallel plans.
     pub fn finish_sorted(&self) -> Vec<(GroupKey, ScalarValue)> {
-        let mut out: Vec<(GroupKey, ScalarValue)> = self
-            .keys
-            .iter()
-            .cloned()
-            .zip(self.states.iter().map(AggState::finish))
-            .collect();
+        let mut out: Vec<(GroupKey, ScalarValue)> =
+            self.keys.iter().cloned().zip(self.states.iter().map(AggState::finish)).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -346,26 +342,26 @@ pub fn grouped_agg(func: AggFunc, keys: &Column, values: &Column) -> Result<Grou
     match values.data_type() {
         DataType::Int64 => {
             let vals = values.i64_values()?;
-            for i in 0..keys.len() {
-                agg.state_mut(extract(i)).update_i64(vals[i]);
+            for (i, &v) in vals.iter().enumerate() {
+                agg.state_mut(extract(i)).update_i64(v);
             }
         }
         DataType::Int32 => {
             let vals = values.i32_values()?;
-            for i in 0..keys.len() {
-                agg.state_mut(extract(i)).update_i64(vals[i] as i64);
+            for (i, &v) in vals.iter().enumerate() {
+                agg.state_mut(extract(i)).update_i64(v as i64);
             }
         }
         DataType::Float64 => {
             let vals = values.f64_values()?;
-            for i in 0..keys.len() {
-                agg.state_mut(extract(i)).update_f64(vals[i]);
+            for (i, &v) in vals.iter().enumerate() {
+                agg.state_mut(extract(i)).update_f64(v);
             }
         }
         DataType::Bool => {
             let vals = values.bool_values()?;
-            for i in 0..keys.len() {
-                agg.state_mut(extract(i)).update_i64(vals[i] as i64);
+            for (i, &v) in vals.iter().enumerate() {
+                agg.state_mut(extract(i)).update_i64(v as i64);
             }
         }
         DataType::Str => {
@@ -491,20 +487,19 @@ mod tests {
         let n = 2000;
         let keys: Vec<i64> = (0..n).map(|v| v % 17).collect();
         let vals: Vec<i64> = (0..n).map(|v| v * 3).collect();
-        let whole =
-            grouped_agg(AggFunc::Sum, &Column::from_i64(keys.clone()), &Column::from_i64(vals.clone()))
-                .unwrap();
+        let whole = grouped_agg(
+            AggFunc::Sum,
+            &Column::from_i64(keys.clone()),
+            &Column::from_i64(vals.clone()),
+        )
+        .unwrap();
         let mut parts = Vec::new();
         let kcol = Column::from_i64(keys);
         let vcol = Column::from_i64(vals);
         for (s, l) in [(0usize, 700usize), (700, 800), (1500, 500)] {
             parts.push(
-                grouped_agg(
-                    AggFunc::Sum,
-                    &kcol.slice(s, l).unwrap(),
-                    &vcol.slice(s, l).unwrap(),
-                )
-                .unwrap(),
+                grouped_agg(AggFunc::Sum, &kcol.slice(s, l).unwrap(), &vcol.slice(s, l).unwrap())
+                    .unwrap(),
             );
         }
         let merged = merge_grouped(&parts).unwrap();

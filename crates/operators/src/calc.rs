@@ -117,9 +117,7 @@ pub fn calc_col_scalar(op: BinaryOp, left: &Column, scalar: &ScalarValue) -> Res
             Ok(Column::from_f64(out))
         }
         lt if is_int(lt) => {
-            let rhs = scalar
-                .as_i64()
-                .ok_or_else(|| numeric_error(lt, scalar.data_type()))?;
+            let rhs = scalar.as_i64().ok_or_else(|| numeric_error(lt, scalar.data_type()))?;
             let l = widened_i64(left)?;
             let mut out = Vec::with_capacity(l.len());
             for a in l.iter() {
@@ -146,9 +144,7 @@ pub fn calc_scalar_col(op: BinaryOp, scalar: &ScalarValue, right: &Column) -> Re
             Ok(Column::from_f64(out))
         }
         rt if is_int(rt) => {
-            let lhs = scalar
-                .as_i64()
-                .ok_or_else(|| numeric_error(scalar.data_type(), rt))?;
+            let lhs = scalar.as_i64().ok_or_else(|| numeric_error(scalar.data_type(), rt))?;
             let r = widened_i64(right)?;
             let mut out = Vec::with_capacity(r.len());
             for b in r.iter() {
@@ -169,9 +165,9 @@ fn is_int(t: DataType) -> bool {
 fn widened_i64(col: &Column) -> Result<std::borrow::Cow<'_, [i64]>> {
     match col.data_type() {
         DataType::Int64 => Ok(std::borrow::Cow::Borrowed(col.i64_values()?)),
-        DataType::Int32 => Ok(std::borrow::Cow::Owned(
-            col.i32_values()?.iter().map(|&v| v as i64).collect(),
-        )),
+        DataType::Int32 => {
+            Ok(std::borrow::Cow::Owned(col.i32_values()?.iter().map(|&v| v as i64).collect()))
+        }
         other => Err(numeric_error(other, other)),
     }
 }
@@ -212,10 +208,7 @@ mod tests {
         );
         let a = Column::from_i32(vec![1, 2]);
         let b = Column::from_i64(vec![10, 20]);
-        assert_eq!(
-            calc_col_col(BinaryOp::Add, &a, &b).unwrap().i64_values().unwrap(),
-            &[11, 22]
-        );
+        assert_eq!(calc_col_col(BinaryOp::Add, &a, &b).unwrap().i64_values().unwrap(), &[11, 22]);
     }
 
     #[test]
@@ -249,10 +242,7 @@ mod tests {
     fn division_by_zero() {
         let a = Column::from_i64(vec![1]);
         let b = Column::from_i64(vec![0]);
-        assert_eq!(
-            calc_col_col(BinaryOp::Div, &a, &b).unwrap_err(),
-            OperatorError::DivisionByZero
-        );
+        assert_eq!(calc_col_col(BinaryOp::Div, &a, &b).unwrap_err(), OperatorError::DivisionByZero);
         let f = Column::from_f64(vec![1.0]);
         assert_eq!(
             calc_col_scalar(BinaryOp::Div, &f, &ScalarValue::F64(0.0)).unwrap_err(),

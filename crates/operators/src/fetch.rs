@@ -30,11 +30,7 @@ pub fn fetch(column: &Column, oids: &[Oid]) -> Result<Column> {
 /// number of oids that were dropped.
 pub fn fetch_clamped(column: &Column, oids: &[Oid]) -> Result<(Column, Vec<Oid>, usize)> {
     let range = RowRange::new(column.base_oid() as usize, column.end_oid() as usize);
-    let clamped: Vec<Oid> = oids
-        .iter()
-        .copied()
-        .filter(|&o| range.contains(o as usize))
-        .collect();
+    let clamped: Vec<Oid> = oids.iter().copied().filter(|&o| range.contains(o as usize)).collect();
     let dropped = oids.len() - clamped.len();
     let fetched = column.gather_oids(&clamped)?;
     Ok((fetched, clamped, dropped))

@@ -224,12 +224,8 @@ mod tests {
         let ht = JoinHashTable::build(&inner).unwrap();
         let res = ht.probe(&outer).unwrap();
         // outer row 0 (key 2) matches inner oids {1,2}; outer row 1 (key 3) matches inner oid 3.
-        let mut pairs: Vec<(Oid, Oid)> = res
-            .outer_oids
-            .iter()
-            .copied()
-            .zip(res.inner_oids.iter().copied())
-            .collect();
+        let mut pairs: Vec<(Oid, Oid)> =
+            res.outer_oids.iter().copied().zip(res.inner_oids.iter().copied()).collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 3)]);
         assert_eq!(res.len(), 3);
@@ -243,12 +239,8 @@ mod tests {
         let outer_part = outer_base.slice(3, 3).unwrap(); // oids [3,6): keys 7,6,5
         let ht = JoinHashTable::build(&inner).unwrap();
         let res = ht.probe(&outer_part).unwrap();
-        let pairs: Vec<(Oid, Oid)> = res
-            .outer_oids
-            .iter()
-            .copied()
-            .zip(res.inner_oids.iter().copied())
-            .collect();
+        let pairs: Vec<(Oid, Oid)> =
+            res.outer_oids.iter().copied().zip(res.inner_oids.iter().copied()).collect();
         assert_eq!(pairs, vec![(4, 1), (5, 0)]);
     }
 
@@ -274,12 +266,8 @@ mod tests {
         let oids = vec![100, 200, 300];
         let ht = JoinHashTable::build(&inner).unwrap();
         let res = ht.probe_with_oids(&keys, &oids).unwrap();
-        let pairs: Vec<(Oid, Oid)> = res
-            .outer_oids
-            .iter()
-            .copied()
-            .zip(res.inner_oids.iter().copied())
-            .collect();
+        let pairs: Vec<(Oid, Oid)> =
+            res.outer_oids.iter().copied().zip(res.inner_oids.iter().copied()).collect();
         assert_eq!(pairs, vec![(100, 1), (300, 0)]);
         assert!(ht.probe_with_oids(&keys, &[1, 2]).is_err());
     }

@@ -32,7 +32,9 @@ pub mod predicate;
 pub mod select;
 pub mod sort;
 
-pub use aggregate::{grouped_agg, merge_grouped, scalar_agg, AggFunc, AggState, GroupKey, GroupedAgg};
+pub use aggregate::{
+    grouped_agg, merge_grouped, scalar_agg, AggFunc, AggState, GroupKey, GroupedAgg,
+};
 pub use calc::{calc_col_col, calc_col_scalar, calc_scalar_col, BinaryOp};
 pub use error::{OperatorError, Result};
 pub use exchange::{pack_columns, pack_oids};

@@ -103,23 +103,13 @@ impl Predicate {
 
     /// Convenience constructor for an inclusive between.
     pub fn between(lo: impl Into<ScalarValue>, hi: impl Into<ScalarValue>) -> Self {
-        Predicate::Between {
-            lo: lo.into(),
-            hi: hi.into(),
-            lo_inclusive: true,
-            hi_inclusive: true,
-        }
+        Predicate::Between { lo: lo.into(), hi: hi.into(), lo_inclusive: true, hi_inclusive: true }
     }
 
     /// Convenience constructor for a half-open range `[lo, hi)`, which is how
     /// TPC-H date predicates (`>= date AND < date + interval`) are expressed.
     pub fn range(lo: impl Into<ScalarValue>, hi: impl Into<ScalarValue>) -> Self {
-        Predicate::Between {
-            lo: lo.into(),
-            hi: hi.into(),
-            lo_inclusive: true,
-            hi_inclusive: false,
-        }
+        Predicate::Between { lo: lo.into(), hi: hi.into(), lo_inclusive: true, hi_inclusive: false }
     }
 
     /// Convenience constructor for `LIKE`.
@@ -288,9 +278,7 @@ impl Predicate {
                 let rhs = value.as_str().ok_or_else(|| self.type_error(column))?;
                 dict.iter().map(|s| op.holds(s.as_str(), rhs)).collect()
             }
-            Predicate::Like { pattern } => {
-                dict.iter().map(|s| like_match(pattern, s)).collect()
-            }
+            Predicate::Like { pattern } => dict.iter().map(|s| like_match(pattern, s)).collect(),
             Predicate::InStr(set) => dict.iter().map(|s| set.iter().any(|x| x == s)).collect(),
             _ => return Err(self.type_error(column)),
         };

@@ -38,21 +38,13 @@ pub fn select_with_candidates(
 ) -> Result<Vec<Oid>> {
     let lo = column.base_oid();
     let hi = column.end_oid();
-    let in_range: Vec<Oid> = candidates
-        .iter()
-        .copied()
-        .filter(|&o| o >= lo && o < hi)
-        .collect();
+    let in_range: Vec<Oid> = candidates.iter().copied().filter(|&o| o >= lo && o < hi).collect();
     if in_range.is_empty() {
         return Ok(Vec::new());
     }
     let gathered = column.gather_oids(&in_range)?;
     let mask = predicate.eval_mask(&gathered)?;
-    Ok(in_range
-        .into_iter()
-        .zip(mask)
-        .filter_map(|(oid, hit)| hit.then_some(oid))
-        .collect())
+    Ok(in_range.into_iter().zip(mask).filter_map(|(oid, hit)| hit.then_some(oid)).collect())
 }
 
 /// Fraction of rows of `column` that satisfy `predicate` (test / workload helper).

@@ -1,0 +1,303 @@
+//! Offline shim for the `criterion` benchmarking crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros — with a deliberately
+//! simple measurement loop: each benchmark runs `sample_size` samples (or
+//! until the measurement-time budget is spent, whichever comes first) and
+//! prints min / median / mean wall-clock times. No statistical regression
+//! analysis, plots, or HTML reports; swap the path dependency for the real
+//! crates.io `criterion` on a networked machine for those.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter rendered via `Display`.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then up to `sample_size` timed
+    /// samples bounded by the measurement-time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "bench {group}/{id}: min {:.3} ms, median {:.3} ms, mean {:.3} ms ({} samples)",
+        min.as_secs_f64() * 1e3,
+        median.as_secs_f64() * 1e3,
+        mean.as_secs_f64() * 1e3,
+        sorted.len(),
+    );
+}
+
+/// Benchmark registry and entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10, default_measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+        };
+        f(&mut b);
+        report("", id, &b.samples);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size, measurement_time }
+    }
+
+    /// Sets the default sample count (builder style, like real criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default measurement-time budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.default_measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is a single untimed call in
+    /// [`Bencher::iter`].
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for CLI compatibility; this shim has no argument parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Hook real criterion calls after all groups ran; no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is a single untimed call in
+    /// [`Bencher::iter`].
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b.samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b.samples);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion. Supports both
+/// the positional form and the `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+            measurement_time: Duration::from_secs(1),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn measurement_budget_caps_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 1_000_000,
+            measurement_time: Duration::from_millis(20),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(b.samples.len() < 1_000_000);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("q6").to_string(), "q6");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.to_string(), "plain");
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(50));
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(10)).warm_up_time(Duration::ZERO);
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("with", 1), &7u64, |b, &x| b.iter(|| black_box(x * 2)));
+        g.finish();
+    }
+}

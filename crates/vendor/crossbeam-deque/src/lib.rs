@@ -1,0 +1,345 @@
+//! Offline shim for the `crossbeam-deque` crate.
+//!
+//! Implements the `Worker` / `Stealer` / `Injector` API surface used by the
+//! engine's work-stealing scheduler. The build environment has no network
+//! access, so instead of the Chase–Lev lock-free deque this shim uses a
+//! `Mutex<VecDeque>` per queue — the same operational semantics (owner pushes
+//! and pops one end without contention in the common case, thieves steal from
+//! the other end, the injector is a shared FIFO), with lock-based rather than
+//! lock-free progress. At the worker counts this engine runs (≤ a few dozen)
+//! the mutex is uncontended nearly always; swap the path dependency for the
+//! real crates.io `crossbeam-deque` on a networked machine for the lock-free
+//! version — no call-site changes are needed.
+//!
+//! Semantic notes mirrored from the real crate:
+//! * a FIFO `Worker` pops from the front (cooperative, queue-like), a LIFO
+//!   `Worker` pops from the back (stack-like, better cache locality);
+//! * `Stealer::steal` always takes from the *front* (the end furthest from a
+//!   LIFO owner's hot end);
+//! * `Injector` is a shared FIFO for tasks submitted from outside the pool.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the steal produced a task.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when the caller should retry.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Extracts the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+struct Buffer<T> {
+    deque: Mutex<VecDeque<T>>,
+}
+
+impl<T> Buffer<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.deque.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The owner side of a work-stealing deque. Not `Sync`: only the owning
+/// worker thread pushes and pops; other threads steal through [`Stealer`]s.
+pub struct Worker<T> {
+    buffer: Arc<Buffer<T>>,
+    flavor: Flavor,
+    // Mirrors the real crate: the Worker is Send but not Sync.
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+/// The thief side of a work-stealing deque; clonable and shareable.
+pub struct Stealer<T> {
+    buffer: Arc<Buffer<T>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO deque (owner pops the oldest task first).
+    pub fn new_fifo() -> Self {
+        Worker {
+            buffer: Arc::new(Buffer { deque: Mutex::new(VecDeque::new()) }),
+            flavor: Flavor::Fifo,
+            _not_sync: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates a LIFO deque (owner pops the most recently pushed task first).
+    pub fn new_lifo() -> Self {
+        Worker {
+            buffer: Arc::new(Buffer { deque: Mutex::new(VecDeque::new()) }),
+            flavor: Flavor::Lifo,
+            _not_sync: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates a [`Stealer`] for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { buffer: Arc::clone(&self.buffer) }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.buffer.lock().push_back(task);
+    }
+
+    /// Pops a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut deque = self.buffer.lock();
+        match self.flavor {
+            Flavor::Fifo => deque.pop_front(),
+            Flavor::Lifo => deque.pop_back(),
+        }
+    }
+
+    /// True when the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buffer.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks (about half the deque), pushing them onto
+    /// `dest` and returning one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = self.buffer.lock();
+        let n = src.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = n.div_ceil(2);
+        let first = src.pop_front().expect("n > 0");
+        if take > 1 {
+            let mut dst = dest.buffer.lock();
+            for _ in 1..take {
+                if let Some(t) = src.pop_front() {
+                    dst.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { buffer: Arc::clone(&self.buffer) }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+/// A shared FIFO into which tasks can be injected from any thread.
+pub struct Injector<T> {
+    buffer: Buffer<T>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector queue.
+    pub fn new() -> Self {
+        Injector { buffer: Buffer { deque: Mutex::new(VecDeque::new()) } }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        self.buffer.lock().push_back(task);
+    }
+
+    /// Steals one task from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buffer.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks, moving them to `dest` and returning one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = self.buffer.lock();
+        let n = src.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = n.div_ceil(2);
+        let first = src.pop_front().expect("n > 0");
+        if take > 1 {
+            let mut dst = dest.buffer.lock();
+            for _ in 1..take {
+                if let Some(t) = src.pop_front() {
+                    dst.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Injector { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_worker_pops_oldest_first() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_first_but_thieves_steal_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_batch_moves_about_half() {
+        let w = Worker::new_fifo();
+        for i in 0..8 {
+            w.push(i);
+        }
+        let thief = Worker::new_fifo();
+        let got = w.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 3); // half of 8 is 4: 1 returned + 3 moved
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = std::sync::Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_helpers() {
+        let s: Steal<i32> = Steal::Empty;
+        assert!(s.is_empty() && !s.is_success() && !s.is_retry());
+        assert_eq!(Steal::Success(5).success(), Some(5));
+        assert_eq!(Steal::<i32>::Retry.success(), None);
+        assert!(Steal::<i32>::Retry.is_retry());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for the `crossbeam` facade crate.
+//!
+//! Provides the subset of the `crossbeam` API this workspace uses — the MPMC
+//! [`channel`] module and the [`deque`] re-export — implemented over
+//! `std::sync` primitives. The build environment has no network access and no
+//! registry cache; on a networked machine this path dependency can be swapped
+//! for the real crates.io `crossbeam` without call-site changes.
+//!
+//! The channel is a straightforward `Mutex<VecDeque>` + `Condvar` MPMC queue:
+//! correct and contention-adequate at the worker counts this engine runs
+//! (the real lock-free implementation only matters at much higher
+//! core counts, and the work-stealing scheduler bypasses the channel
+//! entirely).
+
+pub mod channel;
+
+/// Work-stealing deques (re-exported from the vendored `crossbeam-deque`).
+pub mod deque {
+    pub use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+}

@@ -1,0 +1,64 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Strategy generating `Vec`s with a length drawn from `len` and elements
+/// drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Creates a [`VecStrategy`]: `vec(element_strategy, min_len..max_len)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy needs a non-empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::new_rng;
+
+    #[test]
+    fn vec_strategy_honours_bounds() {
+        let strat = vec(0i64..5, 1..9);
+        let mut rng = new_rng(3);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let v = strat.sample(&mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 3, "length range under-sampled: {lens:?}");
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let strat = vec((0i64..3, 0i64..3), 2..4);
+        let mut rng = new_rng(4);
+        let v = strat.sample(&mut rng);
+        assert!((2..4).contains(&v.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty length range")]
+    fn empty_length_range_is_rejected() {
+        let _ = vec(0i64..3, 5..5);
+    }
+}

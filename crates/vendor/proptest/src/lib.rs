@@ -1,0 +1,196 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest's API its property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]` inner
+//!   attribute) generating one `#[test]` per property;
+//! * [`Strategy`] implementations for integer/float ranges, tuples of
+//!   strategies, and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`test_runner::ProptestConfig`] with the `cases` knob.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: failing cases are **not shrunk** (the panic message prints the
+//! generated inputs via `Debug` instead), there is no failure persistence
+//! file, and generation is plain uniform sampling. Every property still runs
+//! `cases` times with deterministic per-test seeding (derived from the test
+//! name), so failures reproduce exactly across runs and machines.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` works after a glob
+    /// import of the prelude, as with real proptest.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Deterministic seed for a named property test: FNV-1a over the identifying
+/// string, so every `(file, test, case)` triple reproduces the same inputs on
+/// every run and machine.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs one property `cases` times. Kept as a function (rather than inlined
+/// in the macro) so panics carry a uniform message and the macro body stays
+/// small.
+#[doc(hidden)]
+pub fn run_property<F: FnMut(u64)>(name: &str, cases: u32, mut body: F) {
+    for case in 0..cases as u64 {
+        body(seed_for(name, case));
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    // Leading `#![proptest_config(expr)]` sets the config for every property
+    // in the block.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let ident = concat!(module_path!(), "::", stringify!($name));
+            $crate::run_property(ident, config.cases, |seed| {
+                let mut rng = $crate::strategy::new_rng(seed);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // Rendered eagerly: the body may move the inputs, and on a
+                // panic there is no shrinking — the printed inputs are the
+                // reproduction recipe.
+                let mut inputs = ::std::string::String::new();
+                $(inputs.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case failed for {} (seed {}) with inputs:\n{}",
+                        ident, seed, inputs
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            });
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Sampled integers stay inside the requested ranges.
+        #[test]
+        fn ranges_in_bounds(a in -100i64..100, b in 0usize..50, c in 1u64..=9) {
+            prop_assert!((-100..100).contains(&a));
+            prop_assert!(b < 50);
+            prop_assert!((1..=9).contains(&c));
+        }
+
+        /// Vec strategies honour both the length range and element range.
+        #[test]
+        fn vec_lengths_and_elements(v in prop::collection::vec(-5i64..5, 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+            for x in &v {
+                prop_assert!((-5..5).contains(x));
+            }
+        }
+
+        /// Tuple strategies sample element-wise.
+        #[test]
+        fn tuples_sample_elementwise(pairs in prop::collection::vec((0i64..10, -3i64..3), 1..20)) {
+            for (a, b) in &pairs {
+                prop_assert!((0..10).contains(a), "a out of range: {}", a);
+                prop_assert!((-3..3).contains(b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_cases_is_honoured(x in 0u64..1000) {
+            // Three cases run; just touch the input.
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(crate::seed_for("a::b", 0), crate::seed_for("a::b", 0));
+        assert_ne!(crate::seed_for("a::b", 0), crate::seed_for("a::b", 1));
+        assert_ne!(crate::seed_for("a::b", 0), crate::seed_for("a::c", 0));
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = crate::strategy::new_rng(1);
+        assert_eq!(Strategy::sample(&Just(41), &mut rng), 41);
+    }
+}

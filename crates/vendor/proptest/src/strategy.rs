@@ -1,0 +1,104 @@
+//! Value-generation strategies (sampling only; no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving generation; one per test case, deterministically seeded.
+pub type TestRng = StdRng;
+
+/// Creates the per-case RNG (used by the generated test body).
+#[doc(hidden)]
+pub fn new_rng(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A source of generated values. Unlike real proptest this is sampling-only:
+/// `sample` draws one value; failing inputs are reported, not shrunk.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing a single fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_sample_in_bounds() {
+        let mut rng = new_rng(5);
+        for _ in 0..500 {
+            let v = (10i64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.0f64..1.0).sample(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let u = (0u64..=3).sample(&mut rng);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_samples_elementwise() {
+        let mut rng = new_rng(9);
+        for _ in 0..100 {
+            let (a, b, c) = ((0i64..4), (10usize..12), (0u32..2)).sample(&mut rng);
+            assert!(a < 4 && (10..12).contains(&b) && c < 2);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Runner configuration.
+
+/// Configuration of a `proptest!` block (subset of the real crate's knobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; this shim keeps no failure file.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; the properties in this
+        // workspace execute whole query plans per case, so the default is
+        // kept deliberately lower. Tests that need a specific count set it
+        // via `#![proptest_config(..)]`.
+        ProptestConfig { cases: 32, max_shrink_iters: 0, failure_persistence: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_update_syntax() {
+        let d = ProptestConfig::default();
+        assert_eq!(d.cases, 32);
+        let c = ProptestConfig { cases: 12, ..ProptestConfig::default() };
+        assert_eq!(c.cases, 12);
+        assert_eq!(c.max_shrink_iters, d.max_shrink_iters);
+    }
+}

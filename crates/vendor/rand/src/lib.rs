@@ -1,0 +1,237 @@
+//! Offline shim for the `rand` crate (0.8-style API subset).
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of `rand` it uses: the [`Rng`] extension trait with `gen_range` /
+//! `gen_bool` / `gen`, [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//! The generator core is xoshiro256** seeded through SplitMix64 — not
+//! cryptographic (neither is this workspace's use of it), statistically solid
+//! for data generation and noise injection, and fully deterministic per seed,
+//! which is all the experiments require. Integer range sampling uses Lemire's
+//! widening-multiply method (no modulo bias at the widths used here).
+//!
+//! Swap this path dependency for the real crates.io `rand` on a networked
+//! machine; call sites are source-compatible. Note the *streams* differ from
+//! the real `StdRng` (ChaCha12), so regenerated datasets will contain
+//! different values — fine for this workspace, where only determinism per
+//! seed matters, not any specific stream.
+
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generator construction.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against a uniform f64 in [0, 1).
+        self.sample_f64() < p
+    }
+
+    /// Samples a value of a supported type uniformly over its full domain
+    /// (`f64` is uniform in `[0, 1)`, matching `rand`'s `Standard`).
+    fn gen<T: SampleUniformFull>(&mut self) -> T {
+        T::sample_full(self)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[doc(hidden)]
+    fn sample_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable over their full domain via [`Rng::gen`].
+pub trait SampleUniformFull {
+    /// Samples one value.
+    fn sample_full<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniformFull for f64 {
+    fn sample_full<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.sample_f64()
+    }
+}
+
+impl SampleUniformFull for u64 {
+    fn sample_full<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniformFull for bool {
+    fn sample_full<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform u64 in `[0, n)` without modulo bias (Lemire's method, with the
+/// rejection loop).
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo < n {
+            // Rejection zone: only `n % 2^64 / n` fraction of draws loop.
+            let threshold = n.wrapping_neg() % n;
+            if lo < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let offset = uniform_below(rng, span as u64) as $u;
+                (self.start as $u).wrapping_add(offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $u).wrapping_sub(start as $u);
+                if span == <$u>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_below(rng, (span as u64) + 1) as $u;
+                (start as $u).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64,
+    isize => usize, usize => usize,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = r.gen_range(0usize..17);
+            assert!(u < 17);
+            let w = r.gen_range(3u64..=9);
+            assert!((3..=9).contains(&w));
+            let f = r.gen_range(2.0f64..4.0);
+            assert!((2.0..4.0).contains(&f));
+            let i = r.gen_range(1i32..6);
+            assert!((1..6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_the_domain() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never sampled: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "p=0.3 produced {hits}/10000 hits");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut r = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let sum: i64 = (0..n).map(|_| r.gen_range(0i64..1000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((480.0..520.0).contains(&mean), "mean {mean} far from 499.5");
+    }
+
+    #[test]
+    fn gen_full_domain() {
+        let mut r = StdRng::seed_from_u64(5);
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+        let _: u64 = r.gen();
+        let _: bool = r.gen();
+    }
+}

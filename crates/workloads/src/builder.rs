@@ -47,7 +47,12 @@ impl<'a> PlanBuilder<'a> {
     }
 
     /// Predicate selection refining a previous candidate list.
-    pub fn select_with(&mut self, column: NodeId, candidates: NodeId, predicate: Predicate) -> NodeId {
+    pub fn select_with(
+        &mut self,
+        column: NodeId,
+        candidates: NodeId,
+        predicate: Predicate,
+    ) -> NodeId {
         self.plan.add(OperatorSpec::Select { predicate }, vec![column, candidates])
     }
 
@@ -63,8 +68,7 @@ impl<'a> PlanBuilder<'a> {
         then: NodeId,
         otherwise: impl Into<ScalarValue>,
     ) -> NodeId {
-        self.plan
-            .add(OperatorSpec::IfThenElse { otherwise: otherwise.into() }, vec![cond, then])
+        self.plan.add(OperatorSpec::IfThenElse { otherwise: otherwise.into() }, vec![cond, then])
     }
 
     /// Tuple reconstruction (values of `column` at `oids`).

@@ -9,7 +9,15 @@
 //! * [`BackgroundLoad`] — `n_clients` threads repeatedly executing random
 //!   plans from a pool against the shared engine until stopped;
 //! * [`measure_under_load`] — executes a measurement plan a number of times
-//!   while the load is running and reports mean / min / max response times.
+//!   while the load is running and reports mean / min / max response times
+//!   plus the mean queue-wait share (how much of the measured query's
+//!   in-system time was spent waiting behind the background load — the
+//!   scheduler-interference signal, distinguishable from "the operators were
+//!   slow").
+//!
+//! Worker-level contention counters (local hits / steals / queue wait per
+//! worker) are available from [`apq_engine::Engine::scheduler_stats`]; the
+//! fig. 19 utilization experiment reports them per policy.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -44,7 +52,10 @@ impl BackgroundLoad {
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let executed = Arc::new(AtomicUsize::new(0));
-        let plans = Arc::new(plans);
+        // Plans are shared once and executed via `execute_shared`, so the
+        // per-execution deep plan clone of the seed engine is gone from this
+        // hot loop.
+        let plans: Arc<Vec<Arc<Plan>>> = Arc::new(plans.into_iter().map(Arc::new).collect());
         let mut handles = Vec::with_capacity(n_clients);
         for client in 0..n_clients {
             let engine = Arc::clone(&engine);
@@ -62,7 +73,7 @@ impl BackgroundLoad {
                                 break;
                             }
                             let plan = &plans[rng.gen_range(0..plans.len())];
-                            if engine.execute(plan, &catalog).is_ok() {
+                            if engine.execute_shared(plan, &catalog).is_ok() {
                                 executed.fetch_add(1, Ordering::AcqRel);
                             }
                         }
@@ -114,6 +125,13 @@ pub struct ConcurrentMeasurement {
     pub min: Duration,
     /// Slowest response.
     pub max: Duration,
+    /// Mean total queue wait of the measured query's operators per
+    /// execution, microseconds: time ready operators sat behind the
+    /// background load before a worker picked them up.
+    pub mean_queue_wait_us: f64,
+    /// Mean queue-wait share per execution (`0.0` idle .. `1.0` pure wait);
+    /// see [`apq_engine::QueryProfile::queue_wait_share`].
+    pub mean_queue_wait_share: f64,
 }
 
 impl ConcurrentMeasurement {
@@ -124,7 +142,7 @@ impl ConcurrentMeasurement {
 }
 
 /// Executes `plan` `repetitions` times on `engine` (while any background load
-/// keeps running) and reports its response-time statistics.
+/// keeps running) and reports its response-time and queue-wait statistics.
 pub fn measure_under_load(
     engine: &Engine,
     catalog: &Arc<Catalog>,
@@ -132,18 +150,30 @@ pub fn measure_under_load(
     repetitions: usize,
 ) -> Result<ConcurrentMeasurement> {
     let repetitions = repetitions.max(1);
+    let plan = Arc::new(plan.clone());
     let mut total = Duration::ZERO;
     let mut min = Duration::MAX;
     let mut max = Duration::ZERO;
+    let mut total_wait_us = 0u64;
+    let mut total_wait_share = 0.0f64;
     for _ in 0..repetitions {
         let start = Instant::now();
-        engine.execute(plan, catalog)?;
+        let exec = engine.execute_shared(&plan, catalog)?;
         let elapsed = start.elapsed();
         total += elapsed;
         min = min.min(elapsed);
         max = max.max(elapsed);
+        total_wait_us += exec.profile.total_queue_wait_us();
+        total_wait_share += exec.profile.queue_wait_share();
     }
-    Ok(ConcurrentMeasurement { repetitions, mean: total / repetitions as u32, min, max })
+    Ok(ConcurrentMeasurement {
+        repetitions,
+        mean: total / repetitions as u32,
+        min,
+        max,
+        mean_queue_wait_us: total_wait_us as f64 / repetitions as f64,
+        mean_queue_wait_share: total_wait_share / repetitions as f64,
+    })
 }
 
 #[cfg(test)]
@@ -155,10 +185,8 @@ mod tests {
     fn background_load_executes_queries_and_stops() {
         let cat = select_sweep::catalog(5_000, 3);
         let engine = Arc::new(Engine::with_workers(2));
-        let plans = vec![
-            select_sweep::plan(&cat, 10).unwrap(),
-            select_sweep::plan(&cat, 50).unwrap(),
-        ];
+        let plans =
+            vec![select_sweep::plan(&cat, 10).unwrap(), select_sweep::plan(&cat, 50).unwrap()];
         let load = BackgroundLoad::start(Arc::clone(&engine), Arc::clone(&cat), plans, 3, 42);
         assert_eq!(load.clients(), 3);
         // Give the clients a moment to run.
@@ -178,6 +206,8 @@ mod tests {
         assert_eq!(m.repetitions, 5);
         assert!(m.min <= m.mean && m.mean <= m.max);
         assert!(m.mean_ms() > 0.0);
+        assert!((0.0..=1.0).contains(&m.mean_queue_wait_share));
+        assert!(m.mean_queue_wait_us >= 0.0);
         // Zero repetitions are clamped to one.
         let m1 = measure_under_load(&engine, &cat, &plan, 0).unwrap();
         assert_eq!(m1.repetitions, 1);
@@ -201,6 +231,16 @@ mod tests {
         let plan = select_sweep::plan(&cat, 20).unwrap();
         let m = measure_under_load(&engine, &cat, &plan, 3).unwrap();
         assert!(m.mean > Duration::ZERO);
+        // With 4 background clients on a 2-worker engine, the measured query
+        // must have spent *some* time queued behind the load.
+        assert!(
+            m.mean_queue_wait_us > 0.0,
+            "no queue wait recorded under active background load: {m:?}"
+        );
         load.stop();
+        // The engine's scheduler saw the combined traffic.
+        let stats = engine.scheduler_stats();
+        assert!(stats.total_executed() > 0);
+        assert!(stats.total_queue_wait_us() > 0);
     }
 }

@@ -23,5 +23,5 @@ pub mod tpch;
 
 pub use builder::PlanBuilder;
 pub use concurrent::{measure_under_load, BackgroundLoad, ConcurrentMeasurement};
-pub use tpch::{TpchQuery, TpchScale};
 pub use tpcds::{TpcdsQuery, TpcdsScale};
+pub use tpch::{TpchQuery, TpchScale};

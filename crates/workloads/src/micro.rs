@@ -45,10 +45,8 @@ pub mod skewed {
         let clusters = clusters_selected.clamp(1, SKEW_CLUSTERS);
         let mut b = PlanBuilder::new(catalog);
         let v = b.scan("skewed", "v")?;
-        let selected = b.select(
-            v,
-            Predicate::range(SKEW_CLUSTER_BASE, skew_cluster_value(clusters - 1) + 1),
-        );
+        let selected =
+            b.select(v, Predicate::range(SKEW_CLUSTER_BASE, skew_cluster_value(clusters - 1) + 1));
         let payload = b.scan("skewed", "payload")?;
         let values = b.fetch(selected, payload);
         let total = b.scalar_agg(AggFunc::Sum, values);
@@ -67,7 +65,10 @@ pub mod select_sweep {
         c.register(
             TableBuilder::new("sweep")
                 .i64_column("v", uniform_i64(rows, 0, 100, seed))
-                .i64_column("price", datagen::prices_decimal2(rows, 1.0, 1_000.0, seed.wrapping_add(1)))
+                .i64_column(
+                    "price",
+                    datagen::prices_decimal2(rows, 1.0, 1_000.0, seed.wrapping_add(1)),
+                )
                 .i64_column("discount", uniform_i64(rows, 0, 11, seed.wrapping_add(2)))
                 .build()
                 .expect("sweep columns are equally long"),
@@ -181,12 +182,9 @@ mod tests {
         let v = cat.table("sweep").unwrap().column("v").unwrap();
         // matched_percent = 0 -> all rows; 100 -> no rows (paper's convention).
         for (pct, expected) in [(0i64, 1.0f64), (50, 0.5), (100, 0.0)] {
-            let matched = apq_operators::select(
-                v,
-                &Predicate::cmp(CmpOp::Lt, 100 - pct),
-            )
-            .unwrap()
-            .len() as f64
+            let matched = apq_operators::select(v, &Predicate::cmp(CmpOp::Lt, 100 - pct))
+                .unwrap()
+                .len() as f64
                 / rows as f64;
             assert!((matched - expected).abs() < 0.03, "{pct}%: {matched} vs {expected}");
         }

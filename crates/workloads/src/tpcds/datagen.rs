@@ -46,7 +46,15 @@ pub const STORE_SKEW_THETA: f64 = 0.8;
 
 /// Item categories (group-by attribute of several queries).
 pub const CATEGORIES: [&str; 10] = [
-    "Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women",
+    "Books",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
+    "Women",
     "Children",
 ];
 
@@ -55,9 +63,7 @@ pub const STATES: [&str; 8] = ["TN", "CA", "TX", "WA", "NY", "GA", "OH", "IL"];
 
 fn item(scale: &TpcdsScale, seed: u64) -> Arc<Table> {
     let n = scale.item_rows();
-    let brands: Vec<String> = (0..n)
-        .map(|i| format!("Brand#{:03}", (i * 7919) % 120))
-        .collect();
+    let brands: Vec<String> = (0..n).map(|i| format!("Brand#{:03}", (i * 7919) % 120)).collect();
     TableBuilder::new("item")
         .i64_column("i_item_sk", sequential_i64(n))
         .str_column("i_brand", brands)

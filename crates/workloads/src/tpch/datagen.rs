@@ -82,10 +82,31 @@ pub mod domains {
         ["10", "11", "13", "17", "18", "21", "23", "29", "30", "31"];
     /// Nation names (Q9 groups by nation).
     pub const NATIONS: [&str; 25] = [
-        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-        "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
-        "UNITED KINGDOM", "UNITED STATES",
+        "ALGERIA",
+        "ARGENTINA",
+        "BRAZIL",
+        "CANADA",
+        "EGYPT",
+        "ETHIOPIA",
+        "FRANCE",
+        "GERMANY",
+        "INDIA",
+        "INDONESIA",
+        "IRAN",
+        "IRAQ",
+        "JAPAN",
+        "JORDAN",
+        "KENYA",
+        "MOROCCO",
+        "MOZAMBIQUE",
+        "PERU",
+        "CHINA",
+        "ROMANIA",
+        "SAUDI ARABIA",
+        "VIETNAM",
+        "RUSSIA",
+        "UNITED KINGDOM",
+        "UNITED STATES",
     ];
 }
 
@@ -167,7 +188,11 @@ fn part(scale: &TpchScale, seed: u64) -> Arc<Table> {
         .str_column("p_brand", p_brands(n, seed ^ 0x42))
         .str_column(
             "p_container",
-            pick_strings(n, &["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK"], seed ^ 0x43),
+            pick_strings(
+                n,
+                &["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK"],
+                seed ^ 0x43,
+            ),
         )
         .i64_column("p_size", uniform_i64(n, 1, 51, seed ^ 0x44))
         .i64_column("p_retailprice", prices_decimal2(n, 900.0, 2_000.0, seed ^ 0x45))
@@ -220,11 +245,7 @@ pub fn generate(scale: TpchScale, seed: u64) -> Arc<Catalog> {
 
 /// Convenience accessor for a column, used by tests and experiments.
 pub fn column<'a>(catalog: &'a Catalog, table: &str, column: &str) -> &'a Column {
-    catalog
-        .table(table)
-        .expect("table exists")
-        .column(column)
-        .expect("column exists")
+    catalog.table(table).expect("table exists").column(column).expect("column exists")
 }
 
 #[cfg(test)]
@@ -294,7 +315,10 @@ mod tests {
         let ship = column(&cat, "lineitem", "l_shipdate");
         let y1994 = selectivity(
             ship,
-            &Predicate::range(days_from_civil(1994, 1, 1) as i64, days_from_civil(1995, 1, 1) as i64),
+            &Predicate::range(
+                days_from_civil(1994, 1, 1) as i64,
+                days_from_civil(1995, 1, 1) as i64,
+            ),
         )
         .unwrap();
         assert!((0.08..0.22).contains(&y1994), "1994 selectivity {y1994}");

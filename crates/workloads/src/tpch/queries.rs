@@ -113,10 +113,7 @@ pub fn q06_with_quantity(catalog: &Catalog, quantity_threshold: i64) -> Result<P
     let ship = b.scan("lineitem", "l_shipdate")?;
     let in_1994 = b.select(
         ship,
-        Predicate::range(
-            days_from_civil(1994, 1, 1) as i64,
-            days_from_civil(1995, 1, 1) as i64,
-        ),
+        Predicate::range(days_from_civil(1994, 1, 1) as i64, days_from_civil(1995, 1, 1) as i64),
     );
     let disc = b.scan("lineitem", "l_discount")?;
     let disc_band = b.select_with(disc, in_1994, Predicate::between(5i64, 7i64));
@@ -137,10 +134,7 @@ pub fn q14(catalog: &Catalog) -> Result<Plan> {
     let ship = b.scan("lineitem", "l_shipdate")?;
     let month = b.select(
         ship,
-        Predicate::range(
-            days_from_civil(1995, 9, 1) as i64,
-            days_from_civil(1995, 10, 1) as i64,
-        ),
+        Predicate::range(days_from_civil(1995, 9, 1) as i64, days_from_civil(1995, 10, 1) as i64),
     );
     let l_partkey = b.scan("lineitem", "l_partkey")?;
     let keys = b.fetch(month, l_partkey);
@@ -187,10 +181,7 @@ pub fn q04(catalog: &Catalog) -> Result<Plan> {
     let orderdate = b.scan("orders", "o_orderdate")?;
     let quarter = b.select(
         orderdate,
-        Predicate::range(
-            days_from_civil(1993, 7, 1) as i64,
-            days_from_civil(1993, 10, 1) as i64,
-        ),
+        Predicate::range(days_from_civil(1993, 7, 1) as i64, days_from_civil(1993, 10, 1) as i64),
     );
     let o_orderkey = b.scan("orders", "o_orderkey")?;
     let okeys = b.fetch(quarter, o_orderkey);
@@ -223,10 +214,7 @@ pub fn q08(catalog: &Catalog) -> Result<Plan> {
     let orderdate = b.scan("orders", "o_orderdate")?;
     let window = b.select(
         orderdate,
-        Predicate::range(
-            days_from_civil(1995, 1, 1) as i64,
-            days_from_civil(1997, 1, 1) as i64,
-        ),
+        Predicate::range(days_from_civil(1995, 1, 1) as i64, days_from_civil(1997, 1, 1) as i64),
     );
     let o_orderkey = b.scan("orders", "o_orderkey")?;
     let order_keys = b.fetch(window, o_orderkey);
@@ -315,10 +303,7 @@ pub fn q19(catalog: &Catalog) -> Result<Plan> {
     let part_hash = b.hash_build(part_keys);
 
     let shipmode = b.scan("lineitem", "l_shipmode")?;
-    let air = b.select(
-        shipmode,
-        Predicate::InStr(vec!["AIR".to_string(), "REG AIR".to_string()]),
-    );
+    let air = b.select(shipmode, Predicate::InStr(vec!["AIR".to_string(), "REG AIR".to_string()]));
     let instruct = b.scan("lineitem", "l_shipinstruct")?;
     let in_person = b.select_with(instruct, air, Predicate::cmp(CmpOp::Eq, "DELIVER IN PERSON"));
     let qty = b.scan("lineitem", "l_quantity")?;
@@ -453,10 +438,7 @@ mod tests {
         match out {
             QueryOutput::Scalar(v) => {
                 let ratio = v.as_f64().unwrap();
-                assert!(
-                    (0.0..=1.0).contains(&ratio),
-                    "promo share {ratio} outside [0, 1]"
-                );
+                assert!((0.0..=1.0).contains(&ratio), "promo share {ratio} outside [0, 1]");
                 assert!(ratio > 0.01, "promo share {ratio} suspiciously small");
             }
             other => panic!("unexpected output {other:?}"),
@@ -487,9 +469,7 @@ mod tests {
         match out {
             QueryOutput::Groups(groups) => {
                 assert!(groups.len() > 5 && groups.len() <= 25);
-                assert!(groups
-                    .iter()
-                    .all(|(k, _)| matches!(k, apq_operators::GroupKey::Str(_))));
+                assert!(groups.iter().all(|(k, _)| matches!(k, apq_operators::GroupKey::Str(_))));
             }
             other => panic!("unexpected output {other:?}"),
         }

@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let catalog = tpch::generate(scale, 42);
     let engine = Engine::with_workers(8);
-    let optimizer = AdaptiveOptimizer::new(
-        AdaptiveConfig::for_cores(engine.n_workers()).with_max_runs(24),
-    );
+    let optimizer =
+        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(engine.n_workers()).with_max_runs(24));
 
     println!(
         "{:<5} {:>12} {:>12} {:>12} {:>8} {:>10}",

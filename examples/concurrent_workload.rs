@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clients = 16;
     let catalog = tpch::generate(TpchScale::new(0.01), 42);
     let engine = Arc::new(Engine::with_workers(workers));
-    let optimizer =
-        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
+    let optimizer = AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
 
     // Prepare plans while the system is idle.
     let mut prepared = Vec::new();
@@ -40,18 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("starting {clients} background clients on {workers} workers...");
-    let load = BackgroundLoad::start(
-        Arc::clone(&engine),
-        Arc::clone(&catalog),
-        background,
-        clients,
-        7,
-    );
+    let load =
+        BackgroundLoad::start(Arc::clone(&engine), Arc::clone(&catalog), background, clients, 7);
 
-    println!(
-        "{:<5} {:>16} {:>16} {:>12}",
-        "query", "heuristic_ms", "adaptive_ms", "improvement"
-    );
+    println!("{:<5} {:>16} {:>16} {:>12}", "query", "heuristic_ms", "adaptive_ms", "improvement");
     for (query, hp, ap) in &prepared {
         let hp_m = measure_under_load(&engine, &catalog, hp, 5)?;
         let ap_m = measure_under_load(&engine, &catalog, ap, 5)?;

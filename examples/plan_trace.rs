@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- serial Q14 plan ({} operators) ---", serial.node_count());
     println!("{}", serial.pretty());
 
-    let optimizer =
-        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
+    let optimizer = AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(24));
     let report = optimizer.optimize(&engine, &catalog, &serial)?;
     println!(
         "--- adaptive Q14 plan after {} runs ({} operators, speedup {:.2}x) ---",

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use adaptive_parallelization::adaptive::{AdaptiveConfig, AdaptiveOptimizer};
 use adaptive_parallelization::columnar::{datagen, Catalog, TableBuilder};
-use adaptive_parallelization::engine::Engine;
+use adaptive_parallelization::engine::{Engine, EngineConfig, SchedulerPolicy};
 use adaptive_parallelization::operators::{AggFunc, BinaryOp, CmpOp, Predicate};
 use adaptive_parallelization::workloads::PlanBuilder;
 
@@ -42,8 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = builder.scalar_agg(AggFunc::Sum, revenue);
     let serial_plan = builder.finish(total)?;
 
-    // 3. Execute it serially once.
-    let engine = Engine::with_workers(8);
+    // 3. Execute it serially once. The engine's task scheduler is pluggable:
+    //    `SchedulerPolicy::GlobalQueue` (one shared FIFO, the default) or
+    //    `SchedulerPolicy::WorkStealing` (per-worker deques, local-first pop,
+    //    stealing) — results are identical, the dispatch behavior differs.
+    let engine =
+        Engine::new(EngineConfig::with_workers(8).with_scheduler(SchedulerPolicy::WorkStealing));
     let serial = engine.execute(&serial_plan, &catalog)?;
     println!("serial result : {}", serial.output.summary());
     println!("serial time   : {:.3} ms", serial.profile.wall_us() as f64 / 1000.0);
@@ -68,5 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     print!("{}", report.summary());
     println!("result unchanged: {}", report.final_output == serial.output);
+
+    // 5. The scheduler's per-worker dispatch counters: how much work stayed
+    //    local vs. was stolen or injected, and how long tasks sat queued.
+    let stats = engine.scheduler_stats();
+    println!();
+    println!(
+        "scheduler {}: {} tasks, {:.0}% local, {} steals, {:.3} ms total queue wait",
+        stats.policy,
+        stats.total_executed(),
+        stats.locality() * 100.0,
+        stats.total_steals(),
+        stats.total_queue_wait_us() as f64 / 1000.0,
+    );
     Ok(())
 }

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("skewed column with {rows} rows, {workers} workers");
     let catalog = skewed::catalog(rows, 7);
     let engine = Engine::with_workers(workers);
-    let optimizer =
-        AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(32));
+    let optimizer = AdaptiveOptimizer::new(AdaptiveConfig::for_cores(workers).with_max_runs(32));
 
     println!(
         "{:>7} {:>16} {:>18} {:>14} {:>14}",

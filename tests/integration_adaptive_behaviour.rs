@@ -18,17 +18,25 @@ fn adaptive_parallelism_grows_and_improves_on_a_large_scan() {
     let workers = 4;
     let catalog = select_sweep::catalog(rows, 11);
     let engine = Engine::with_workers(workers);
-    let config = AdaptiveConfig::for_cores(workers).with_min_partition_rows(1_000).with_max_runs(16);
+    let config =
+        AdaptiveConfig::for_cores(workers).with_min_partition_rows(1_000).with_max_runs(16);
     let serial = select_sweep::plan(&catalog, 50).expect("plan builds");
     let report = AdaptiveOptimizer::new(config.clone())
         .optimize(&engine, &catalog, &serial)
         .expect("optimization succeeds");
 
-    // The best plan is more parallel than the serial plan and at least as fast.
+    // The best plan is at least as fast as the serial plan.
     assert!(report.total_runs >= 1);
-    assert!(report.best_plan.node_count() > serial.node_count());
-    assert!(report.best_plan.count_of("select") >= 2, "select was never parallelized");
     assert!(report.best_us <= report.serial_us);
+    // On parallel hardware the best plan must also be more parallel than the
+    // serial plan. On a single hardware thread (some CI containers) extra
+    // partitions cannot improve wall time, so converging back to the serial
+    // plan is the *correct* adaptive outcome and growth is not asserted.
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if hw > 1 {
+        assert!(report.best_plan.node_count() > serial.node_count());
+        assert!(report.best_plan.count_of("select") >= 2, "select was never parallelized");
+    }
     // Convergence respected both the balance rule and the hard cap.
     assert!(report.total_runs <= config.max_runs);
     // The run count stays within the paper's (approximate) upper bound plus
