@@ -26,9 +26,9 @@ pub fn engine_with_workers(workers: usize) -> Arc<Engine> {
 pub fn four_socket_engine(cfg: &ExperimentConfig) -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         n_workers: cfg.workers * 2,
-        noise: None,
         per_operator_overhead_us: 30,
         scheduler: cfg.scheduler,
+        ..EngineConfig::default()
     }))
 }
 

@@ -33,6 +33,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Task-scheduling policy of the engine's worker pool.
     pub scheduler: SchedulerPolicy,
+    /// Morsel size (rows) used by the morsel-driven execution comparisons
+    /// (fig19's morsel-mode engines).
+    pub morsel_rows: usize,
 }
 
 fn default_workers() -> usize {
@@ -53,6 +56,7 @@ impl ExperimentConfig {
             min_partition_rows: 512,
             seed: 42,
             scheduler: SchedulerPolicy::default(),
+            morsel_rows: 2_048,
         }
     }
 
@@ -69,6 +73,7 @@ impl ExperimentConfig {
             min_partition_rows: 1024,
             seed: 42,
             scheduler: SchedulerPolicy::default(),
+            morsel_rows: 16_384,
         }
     }
 
@@ -85,6 +90,7 @@ impl ExperimentConfig {
             min_partition_rows: 2048,
             seed: 42,
             scheduler: SchedulerPolicy::default(),
+            morsel_rows: 65_536,
         }
     }
 

@@ -5,16 +5,19 @@
 //! The numeric table carries the utilization metrics; the rendered timelines
 //! (one lane per worker, as in the paper's figures) are attached as extra
 //! "tables" with a single text row each so that `run_experiments` prints
-//! them. A final table reports the engine's per-worker scheduler counters
+//! them. A third table reports the engine's per-worker scheduler counters
 //! (tasks executed, local-deque hits, steals, injector hits, accumulated
 //! queue wait) for the heuristic plan under **both** scheduling policies —
 //! the work-stealing-vs-shared-FIFO comparison of §4.1.1 at the dispatch
-//! level.
+//! level. A final table repeats the comparison in **morsel-driven**
+//! execution mode (`ExecutionMode::MorselDriven`): per worker, the tasks
+//! executed and the morsels pulled, showing how pipeline fan-out spreads
+//! locality-friendly work units across the pool.
 
 use std::sync::Arc;
 
 use apq_baselines::heuristic_parallelize;
-use apq_engine::{Engine, EngineConfig, SchedulerPolicy};
+use apq_engine::{Engine, EngineConfig, ExecutionMode, SchedulerPolicy};
 use apq_workloads::tpch::{self, queries::q14, TpchScale};
 
 use crate::common::{adaptive, engine};
@@ -33,15 +36,43 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
     let hp_plan = heuristic_parallelize(&serial, &catalog, workers).expect("HP builds");
     let hp_exec = engine.execute(&hp_plan, &catalog).expect("HP executes");
 
+    // Morsel-mode executions of the same two plans (fresh engine so the
+    // dispatch counters below stay attributable; same scheduler policy as
+    // the operator-at-a-time engine so the rows differ only in mode).
+    let morsel_engine = Engine::new(
+        EngineConfig::with_workers(workers)
+            .with_scheduler(cfg.scheduler)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+            .with_morsel_rows(cfg.morsel_rows),
+    );
+    let ap_morsel = morsel_engine.execute(&report.best_plan, &catalog).expect("AP morsel");
+    let hp_morsel = morsel_engine.execute(&hp_plan, &catalog).expect("HP morsel");
+
     let mut metrics = ExperimentTable::new(
         "Figures 19/20 (metrics)",
         format!("TPC-H Q14 isolated execution on {workers} workers"),
-        &["plan", "operators", "cpu_ms", "wall_ms", "parallelism_usage", "multi_core_utilization"],
+        &[
+            "plan",
+            "mode",
+            "operators",
+            "morsels",
+            "cpu_ms",
+            "wall_ms",
+            "parallelism_usage",
+            "multi_core_utilization",
+        ],
     );
-    for (label, exec) in [("adaptive (Fig. 19)", &ap_exec), ("heuristic (Fig. 20)", &hp_exec)] {
+    for (label, mode, exec) in [
+        ("adaptive (Fig. 19)", "operator-at-a-time", &ap_exec),
+        ("heuristic (Fig. 20)", "operator-at-a-time", &hp_exec),
+        ("adaptive (Fig. 19)", "morsel-driven", &ap_morsel),
+        ("heuristic (Fig. 20)", "morsel-driven", &hp_morsel),
+    ] {
         metrics.row(vec![
             label.to_string(),
+            mode.to_string(),
             exec.profile.operators.len().to_string(),
+            exec.profile.total_morsels().to_string(),
             format!("{:.3}", exec.profile.total_cpu_us() as f64 / 1000.0),
             format!("{:.3}", exec.profile.wall_us() as f64 / 1000.0),
             fmt_percent(exec.profile.parallelism_usage()),
@@ -89,7 +120,46 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
         }
     }
 
-    vec![metrics, ap_trace, hp_trace, counters]
+    // The same comparison in morsel-driven mode: per-worker task and morsel
+    // counters of the heuristic Q14 plan under both scheduling policies.
+    let mut morsel_counters = ExperimentTable::new(
+        "Figures 19/20 (morsel counters)",
+        format!(
+            "per-worker morsel counters of the heuristic Q14 plan in morsel-driven mode \
+             ({} rows per morsel), by scheduling policy",
+            cfg.morsel_rows
+        ),
+        &["policy", "worker", "executed", "morsels", "pipelines", "queue_wait_ms"],
+    );
+    for policy in SchedulerPolicy::ALL {
+        let probe = Engine::new(
+            EngineConfig::with_workers(workers)
+                .with_scheduler(policy)
+                .with_execution_mode(ExecutionMode::MorselDriven)
+                .with_morsel_rows(cfg.morsel_rows),
+        );
+        let exec =
+            probe.execute_shared(&hp_shared, &catalog).expect("HP executes under morsel mode");
+        assert_eq!(
+            exec.output, hp_exec.output,
+            "{policy}: morsel-mode Q14 diverged from operator-at-a-time"
+        );
+        let stats = probe.scheduler_stats();
+        let morsels = exec.profile.morsels_by_worker();
+        let n_pipelines = exec.profile.pipelines.len();
+        for (w, ws) in stats.workers.iter().enumerate() {
+            morsel_counters.row(vec![
+                stats.policy.to_string(),
+                w.to_string(),
+                ws.executed.to_string(),
+                morsels.get(w).copied().unwrap_or(0).to_string(),
+                n_pipelines.to_string(),
+                format!("{:.3}", ws.queue_wait_us as f64 / 1000.0),
+            ]);
+        }
+    }
+
+    vec![metrics, ap_trace, hp_trace, counters, morsel_counters]
 }
 
 #[cfg(test)]
@@ -100,15 +170,20 @@ mod tests {
     fn produces_metrics_two_traces_and_scheduler_counters() {
         let cfg = ExperimentConfig::smoke();
         let tables = run(&cfg);
-        assert_eq!(tables.len(), 4);
-        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables.len(), 5);
+        // Two plans × two execution modes.
+        assert_eq!(tables[0].len(), 4);
         // One header line plus one lane per worker.
         assert_eq!(tables[1].len(), cfg.workers + 1);
         assert_eq!(tables[2].len(), cfg.workers + 1);
         // The HP plan executes at least as many operators as the AP plan.
-        let ap_ops: usize = tables[0].rows[0][1].parse().unwrap();
-        let hp_ops: usize = tables[0].rows[1][1].parse().unwrap();
+        let ap_ops: usize = tables[0].rows[0][2].parse().unwrap();
+        let hp_ops: usize = tables[0].rows[1][2].parse().unwrap();
         assert!(hp_ops >= ap_ops);
+        // Operator-at-a-time rows report no morsels; morsel rows report some.
+        assert_eq!(tables[0].rows[0][3], "0");
+        let hp_morsels: usize = tables[0].rows[3][3].parse().unwrap();
+        assert!(hp_morsels > 0, "morsel-driven HP run reported no morsels");
         // Counter table: one row per worker per policy, both plans fully
         // dispatched under each policy.
         let counters = &tables[3];
@@ -122,5 +197,21 @@ mod tests {
                 .sum();
             assert_eq!(executed, hp_ops as u64, "{policy}: dispatch count mismatch");
         }
+        // Morsel counter table: per-worker morsel counts sum to the same
+        // total under both policies (the fan-out is policy-independent).
+        let morsel_counters = &tables[4];
+        assert_eq!(morsel_counters.len(), 2 * cfg.workers);
+        let mut totals = Vec::new();
+        for policy in ["global-queue", "work-stealing"] {
+            let morsels: u64 = morsel_counters
+                .rows
+                .iter()
+                .filter(|r| r[0] == policy)
+                .map(|r| r[3].parse::<u64>().unwrap())
+                .sum();
+            assert!(morsels > 0, "{policy}: no morsels recorded");
+            totals.push(morsels);
+        }
+        assert_eq!(totals[0], totals[1], "morsel fan-out differed across policies");
     }
 }

@@ -105,6 +105,7 @@ mod tests {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
             concurrent_peers: 0,
+            pipelines: vec![],
             operators: costs
                 .iter()
                 .map(|&(node, duration_us, rows_out)| OperatorProfile {

@@ -20,6 +20,8 @@
 //! * [`optimizer`] — the run loop (paper Fig. 2) driving it all;
 //! * [`config`] / [`report`] — tunables and result structures.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod convergence;
 pub mod error;

@@ -146,6 +146,7 @@ mod tests {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
             concurrent_peers: 0,
+            pipelines: vec![],
             operators: plan
                 .node_ids()
                 .into_iter()
@@ -318,6 +319,7 @@ mod tests {
             wall_time: Duration::from_micros(1),
             n_workers: 1,
             concurrent_peers: 0,
+            pipelines: vec![],
             operators: vec![],
         };
         assert!(clone_over_partitions(&mut p2, &empty_prof, fetch2).is_err());

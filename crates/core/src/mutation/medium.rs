@@ -185,6 +185,7 @@ mod tests {
             wall_time: Duration::from_micros(1000),
             n_workers: 4,
             concurrent_peers: 0,
+            pipelines: vec![],
             operators: rows
                 .iter()
                 .map(|&(node, rows_out)| OperatorProfile {

@@ -143,6 +143,7 @@ mod tests {
             wall_time: Duration::from_micros(100),
             n_workers: 2,
             concurrent_peers: 0,
+            pipelines: vec![],
             operators: rows
                 .iter()
                 .map(|&(node, rows_out)| OperatorProfile {

@@ -1,4 +1,31 @@
 //! Intermediate results flowing along plan edges.
+//!
+//! # The `stream_base` candidate-stream alignment invariant
+//!
+//! A *candidate stream* is an intermediate ordered by an oid list rather
+//! than by base-table position (a fetch output, a join result, a projected
+//! join side). Plan mutations cut such streams positionally
+//! ([`crate::plan::OperatorSpec::SlicePart`]), and the morsel-driven
+//! execution mode ([`crate::pipeline`]) cuts them again into morsels. The
+//! invariant, introduced by the PR-1 correctness fix:
+//!
+//! > Every positional partition of a stream remembers its offset within the
+//! > stream (`stream_base`), and every positionally-aligned output carries
+//! > that offset forward.
+//!
+//! [`Chunk::Oids`] and [`Chunk::Join`] carry the offset; slicing adds its
+//! start to it; fetch writes it into the output column's base oid
+//! ([`apq_columnar::Column::base_oid`]); position-emitting consumers
+//! (probes, selections) then emit *absolute* stream positions. Violating
+//! the invariant does not crash — it silently pairs rows across the wrong
+//! partitions (historically: group sums redistributed across groups; see
+//! `crates/engine/tests/stream_alignment.rs` for the deterministic
+//! regression and `docs/architecture.md` §5 for the full story).
+//!
+//! **New position-emitting operators must follow the same three rules:**
+//! read the input's `stream_base`, emit `base + local index`, and label any
+//! sliced output via [`Chunk::oids_at`] / [`Chunk::join_at`]. The exchange
+//! union `debug_assert`s that packed parts are in consistent stream order.
 
 use std::sync::Arc;
 

@@ -27,14 +27,18 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use apq_columnar::partition::RowRange;
 use apq_columnar::Catalog;
 
 use crate::chunk::{Chunk, QueryOutput};
 use crate::error::{EngineError, Result};
-use crate::interpreter::execute_node;
+use crate::interpreter::{exchange_union, execute_node, slice_part};
 use crate::noise::{NoiseConfig, NoiseInjector};
-use crate::plan::{NodeId, Plan};
-use crate::profiler::{OperatorProfile, QueryProfile};
+use crate::pipeline::{
+    morsel_count, ExecutionMode, Pipeline, PipelinePlan, PipelineSource, Step, DEFAULT_MORSEL_ROWS,
+};
+use crate::plan::{NodeId, OperatorSpec, Plan};
+use crate::profiler::{OperatorProfile, PipelineProfile, QueryProfile};
 use crate::scheduler::{
     QueryHandle, Scheduler, SchedulerPolicy, SchedulerStats, Task, TaskContext,
 };
@@ -53,6 +57,14 @@ pub struct EngineConfig {
     pub per_operator_overhead_us: u64,
     /// Task-scheduling policy of the worker pool.
     pub scheduler: SchedulerPolicy,
+    /// How plans are turned into scheduler tasks: one task per operator
+    /// (default) or fused pipelines driven by fixed-size morsels. See
+    /// [`crate::pipeline`] for the execution-model comparison; results are
+    /// byte-identical either way.
+    pub execution_mode: ExecutionMode,
+    /// Morsel size in rows for [`ExecutionMode::MorselDriven`]
+    /// (default [`DEFAULT_MORSEL_ROWS`]). Ignored in operator-at-a-time mode.
+    pub morsel_rows: usize,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +74,8 @@ impl Default for EngineConfig {
             noise: None,
             per_operator_overhead_us: 0,
             scheduler: SchedulerPolicy::default(),
+            execution_mode: ExecutionMode::default(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -75,6 +89,19 @@ impl EngineConfig {
     /// Sets the scheduling policy (builder style).
     pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the execution mode (builder style).
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
+    /// Sets the morsel size in rows for morsel-driven execution (builder
+    /// style). Values are clamped to at least 1 at use sites.
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = morsel_rows;
         self
     }
 }
@@ -202,6 +229,48 @@ impl Engine {
     /// Like [`Engine::execute`] but borrows an already-shared plan, avoiding
     /// the deep plan clone per run — the hot path for repeated executions of
     /// the same plan (benchmark loops, background workloads).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use apq_columnar::{partition::RowRange, Catalog, ScalarValue, TableBuilder};
+    /// use apq_engine::plan::{OperatorSpec, Plan};
+    /// use apq_engine::{Engine, QueryOutput};
+    /// use apq_operators::{AggFunc, CmpOp, Predicate};
+    ///
+    /// // A tiny table and the plan for `SELECT sum(v) FROM t WHERE v < 3`.
+    /// let mut catalog = Catalog::new();
+    /// catalog.register(
+    ///     TableBuilder::new("t").i64_column("v", vec![0, 1, 2, 3, 4]).build()?,
+    /// );
+    /// let catalog = Arc::new(catalog);
+    ///
+    /// let mut plan = Plan::new();
+    /// let scan = plan.add(
+    ///     OperatorSpec::ScanColumn {
+    ///         table: "t".into(),
+    ///         column: "v".into(),
+    ///         range: RowRange::new(0, 5),
+    ///     },
+    ///     vec![],
+    /// );
+    /// let sel = plan.add(
+    ///     OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 3i64) },
+    ///     vec![scan],
+    /// );
+    /// let fetch = plan.add(OperatorSpec::Fetch, vec![sel, scan]);
+    /// let agg = plan.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+    /// let fin = plan.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    /// plan.set_root(fin);
+    ///
+    /// // Share the plan once, execute it many times without re-cloning it.
+    /// let engine = Engine::with_workers(2);
+    /// let plan = Arc::new(plan);
+    /// for _ in 0..3 {
+    ///     let exec = engine.execute_shared(&plan, &catalog)?;
+    ///     assert_eq!(exec.output, QueryOutput::Scalar(ScalarValue::I64(3)));
+    /// }
+    /// # Ok::<(), apq_engine::EngineError>(())
+    /// ```
     pub fn execute_shared(
         &self,
         plan: &Arc<Plan>,
@@ -234,6 +303,10 @@ impl Engine {
             }
         }
         let _in_flight = InFlightGuard(&self.in_flight);
+
+        if self.config.execution_mode == ExecutionMode::MorselDriven {
+            return self.execute_morsel_driven(plan, catalog, handle, concurrent_peers);
+        }
 
         let capacity = plan.capacity();
         let live = plan.node_ids();
@@ -298,6 +371,84 @@ impl Engine {
             n_workers: self.config.n_workers,
             concurrent_peers,
             operators,
+            pipelines: Vec::new(),
+        };
+        Ok(QueryExecution { output: root_chunk.to_output(), profile })
+    }
+
+    /// Morsel-driven execution of a validated plan (see [`crate::pipeline`]).
+    ///
+    /// The plan is decomposed into fused pipelines and single-node steps;
+    /// each runnable pipeline fans out into one scheduler task per morsel.
+    /// Results are byte-identical to the operator-at-a-time path.
+    fn execute_morsel_driven(
+        &self,
+        plan: &Arc<Plan>,
+        catalog: &Arc<Catalog>,
+        handle: Arc<QueryHandle>,
+        concurrent_peers: usize,
+    ) -> Result<QueryExecution> {
+        let fused = PipelinePlan::analyze(plan)?;
+        let capacity = plan.capacity();
+        let n_steps = fused.steps.len();
+        let state = Arc::new(MorselState {
+            plan: Arc::clone(plan),
+            catalog: Arc::clone(catalog),
+            handle,
+            results: (0..capacity).map(|_| OnceLock::new()).collect(),
+            profiles: (0..capacity).map(|_| OnceLock::new()).collect(),
+            step_deps: fused.deps.iter().map(|&d| AtomicUsize::new(d)).collect(),
+            fused_runs: (0..n_steps).map(|_| OnceLock::new()).collect(),
+            pipeline_profiles: Mutex::new(Vec::new()),
+            remaining: AtomicUsize::new(n_steps),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            started: Instant::now(),
+            noise: self.noise.clone(),
+            overhead_us: self.config.per_operator_overhead_us,
+            morsel_rows: self.config.morsel_rows.max(1),
+            n_workers: self.config.n_workers,
+            fused,
+        });
+
+        // Seed every step with no cross-step dependencies. Like the
+        // operator-at-a-time path, seeding consults the *static* dependency
+        // counts so concurrently running workers cannot double-launch a step.
+        for step in 0..n_steps {
+            if state.fused.deps[step] == 0 {
+                let ok = launch_step(&state, step, &|task| self.scheduler.submit(task));
+                if !ok {
+                    return Err(EngineError::EngineShutDown);
+                }
+            }
+        }
+
+        {
+            let mut done = state.done.lock();
+            while !*done {
+                state.done_cv.wait(&mut done);
+            }
+        }
+        if let Some(err) = state.error.lock().clone() {
+            return Err(err);
+        }
+
+        let root = plan.root().expect("validated plan has a root");
+        let root_chunk = state.results[root]
+            .get()
+            .cloned()
+            .ok_or_else(|| EngineError::InvalidPlan("root node produced no result".to_string()))?;
+        let operators: Vec<OperatorProfile> =
+            state.profiles.iter().filter_map(OnceLock::get).cloned().collect();
+        let pipelines = std::mem::take(&mut *state.pipeline_profiles.lock());
+        let profile = QueryProfile {
+            wall_time: state.started.elapsed(),
+            n_workers: self.config.n_workers,
+            concurrent_peers,
+            operators,
+            pipelines,
         };
         Ok(QueryExecution { output: root_chunk.to_output(), profile })
     }
@@ -362,67 +513,18 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
     if state.handle.is_cancelled() {
         return state.fail(EngineError::Cancelled);
     }
-    let node_ref = match state.plan.node(node) {
-        Ok(n) => n.clone(),
-        Err(e) => return state.fail(e),
-    };
-
-    // Gather the (already materialized) inputs from their write-once slots.
-    let mut inputs: Vec<Chunk> = Vec::with_capacity(node_ref.inputs.len());
-    for &input in &node_ref.inputs {
-        match state.results.get(input).and_then(OnceLock::get) {
-            Some(chunk) => inputs.push(chunk.clone()),
-            None => {
-                return state.fail(EngineError::InvalidPlan(format!(
-                    "node {node} was scheduled before its input {input} completed"
-                )));
-            }
-        }
-    }
-
-    let queue_wait_us = ctx.queue_wait.as_micros() as u64;
-    let start_us = state.started.elapsed().as_micros() as u64;
-    // A panicking operator must fail *this query* (waking the submitting
-    // client) rather than unwind through the shared worker pool.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_node(node, &node_ref.spec, &inputs, &state.catalog)
-    }))
-    .unwrap_or_else(|panic| {
-        let msg = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        Err(EngineError::WorkerPanicked(format!("operator {node} panicked: {msg}")))
-    });
-    if state.overhead_us > 0 {
-        std::thread::sleep(std::time::Duration::from_micros(state.overhead_us));
-    }
-    if let Some(noise) = &state.noise {
-        noise.inject();
-    }
-    let end_us = state.started.elapsed().as_micros() as u64;
-
-    let chunk = match outcome {
-        Ok(chunk) => chunk,
-        Err(e) => return state.fail(e),
-    };
-
-    let profile = OperatorProfile {
+    if let Err(e) = execute_and_publish(
+        &state.plan,
+        &state.catalog,
+        &state.results,
+        &state.profiles,
+        state.started,
+        state.noise.as_deref(),
+        state.overhead_us,
+        ctx,
         node,
-        name: node_ref.spec.name(),
-        start_us,
-        duration_us: end_us.saturating_sub(start_us),
-        queue_wait_us,
-        worker: ctx.worker,
-        rows_out: chunk.rows(),
-        bytes_out: chunk.byte_size(),
-    };
-    if state.profiles[node].set(profile).is_err() {
-        return state.fail(EngineError::InvalidPlan(format!("node {node} executed twice")));
-    }
-    if state.results[node].set(chunk).is_err() {
-        return state.fail(EngineError::InvalidPlan(format!("node {node} produced two results")));
+    ) {
+        return state.fail(e);
     }
 
     // Wake up consumers whose dependencies are now all satisfied; follow-up
@@ -446,6 +548,514 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
         }
     }
 
+    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        state.finish();
+    }
+}
+
+/// Gathers `node`'s materialized inputs from the write-once slots, executes
+/// the operator (panic-guarded, with emulated overhead/noise applied), and
+/// publishes its chunk and profile. The whole-node execution protocol,
+/// shared by the operator-at-a-time path ([`run_node`]) and morsel mode's
+/// single-node steps ([`run_single_step`]) so the two execution models
+/// cannot drift. Errors are returned for the caller to fail the query with.
+#[allow(clippy::too_many_arguments)]
+fn execute_and_publish(
+    plan: &Plan,
+    catalog: &Catalog,
+    results: &[OnceLock<Chunk>],
+    profiles: &[OnceLock<OperatorProfile>],
+    started: Instant,
+    noise: Option<&NoiseInjector>,
+    overhead_us: u64,
+    ctx: &TaskContext<'_>,
+    node: NodeId,
+) -> Result<()> {
+    let node_ref = plan.node(node)?.clone();
+
+    // Gather the (already materialized) inputs from their write-once slots.
+    let mut inputs: Vec<Chunk> = Vec::with_capacity(node_ref.inputs.len());
+    for &input in &node_ref.inputs {
+        match results.get(input).and_then(OnceLock::get) {
+            Some(chunk) => inputs.push(chunk.clone()),
+            None => {
+                return Err(EngineError::InvalidPlan(format!(
+                    "node {node} was scheduled before its input {input} completed"
+                )));
+            }
+        }
+    }
+
+    let queue_wait_us = ctx.queue_wait.as_micros() as u64;
+    let start_us = started.elapsed().as_micros() as u64;
+    let outcome = guarded_execute(node, &node_ref.spec, &inputs, catalog);
+    if overhead_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(overhead_us));
+    }
+    if let Some(noise) = noise {
+        noise.inject();
+    }
+    let end_us = started.elapsed().as_micros() as u64;
+
+    let chunk = outcome?;
+    let profile = OperatorProfile {
+        node,
+        name: node_ref.spec.name(),
+        start_us,
+        duration_us: end_us.saturating_sub(start_us),
+        queue_wait_us,
+        worker: ctx.worker,
+        rows_out: chunk.rows(),
+        bytes_out: chunk.byte_size(),
+    };
+    if profiles[node].set(profile).is_err() {
+        return Err(EngineError::InvalidPlan(format!("node {node} executed twice")));
+    }
+    if results[node].set(chunk).is_err() {
+        return Err(EngineError::InvalidPlan(format!("node {node} produced two results")));
+    }
+    Ok(())
+}
+
+/// Executes one operator, converting panics into query-level errors: a
+/// panicking operator must fail *this query* (waking the submitting client)
+/// rather than unwind through the shared worker pool.
+fn guarded_execute(
+    node: NodeId,
+    spec: &OperatorSpec,
+    inputs: &[Chunk],
+    catalog: &Catalog,
+) -> Result<Chunk> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_node(node, spec, inputs, catalog)
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(EngineError::WorkerPanicked(format!("operator {node} panicked: {msg}")))
+    })
+}
+
+// ------------------------------------------------------------- morsel driver
+//
+// The morsel-driven execution path. Dependency tracking happens at *step*
+// granularity (a step is a fused pipeline or a single pipeline-breaker node,
+// see `crate::pipeline`); a runnable pipeline fans out into one task per
+// morsel, and the last morsel to finish assembles the partial outputs in
+// morsel order and publishes the terminal chunk exactly where the
+// operator-at-a-time path would have published it.
+
+/// Shared state of one morsel-driven query execution (the step-granular
+/// analogue of [`RunState`]).
+struct MorselState {
+    plan: Arc<Plan>,
+    catalog: Arc<Catalog>,
+    handle: Arc<QueryHandle>,
+    /// Write-once chunk slot per plan node; only published nodes (single
+    /// steps and pipeline terminals) are ever set.
+    results: Vec<OnceLock<Chunk>>,
+    profiles: Vec<OnceLock<OperatorProfile>>,
+    /// Remaining cross-step input edges per step.
+    step_deps: Vec<AtomicUsize>,
+    /// Morsel bookkeeping per step; set when the step is launched (fused
+    /// steps only).
+    fused_runs: Vec<OnceLock<Arc<FusedRun>>>,
+    pipeline_profiles: Mutex<Vec<PipelineProfile>>,
+    /// Steps still to complete.
+    remaining: AtomicUsize,
+    failed: AtomicBool,
+    error: Mutex<Option<EngineError>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    started: Instant,
+    noise: Option<Arc<NoiseInjector>>,
+    overhead_us: u64,
+    morsel_rows: usize,
+    n_workers: usize,
+    fused: PipelinePlan,
+}
+
+impl MorselState {
+    fn finish(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.done_cv.notify_all();
+    }
+
+    fn fail(&self, err: EngineError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.failed.store(true, Ordering::Release);
+        self.finish();
+    }
+}
+
+/// Per-pipeline morsel bookkeeping, created when the pipeline is launched
+/// (its fan-out depends on the actual source size).
+struct FusedRun {
+    n_morsels: usize,
+    /// Rows of the pipeline's input (effective scan range or source chunk).
+    source_rows: usize,
+    /// First effective row of a scan source (clamped to the table size).
+    scan_start: usize,
+    /// Terminal partial output per morsel, assembled in morsel order.
+    parts: Vec<OnceLock<Chunk>>,
+    remaining: AtomicUsize,
+    /// Accumulated per-stage execution time / output rows / output bytes,
+    /// indexed like `Pipeline::member_nodes`.
+    stage_time_us: Vec<AtomicU64>,
+    stage_rows: Vec<AtomicU64>,
+    stage_bytes: Vec<AtomicU64>,
+    /// Morsels executed per worker — the locality signal fig19 reports.
+    morsels_by_worker: Vec<AtomicU64>,
+    queue_wait_us: AtomicU64,
+    /// Offset since query start when the pipeline became runnable.
+    start_us: u64,
+}
+
+impl FusedRun {
+    fn record_stage(&self, member: usize, started: Instant, chunk: &Chunk) {
+        self.stage_time_us[member]
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.stage_rows[member].fetch_add(chunk.rows() as u64, Ordering::Relaxed);
+        self.stage_bytes[member].fetch_add(chunk.byte_size() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Launches a runnable step: submits the single-node task, or computes the
+/// morsel fan-out and submits one task per morsel.
+///
+/// Returns `false` only when the scheduler refused a submission (engine shut
+/// down). Query-level failures (bad catalog references, double launches) are
+/// routed through [`MorselState::fail`] and return `true` — the engine is
+/// alive, the query is not.
+fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> bool) -> bool {
+    match &state.fused.steps[step] {
+        Step::Single(node) => {
+            let st = Arc::clone(state);
+            let node = *node;
+            submit(Task::new(Arc::clone(&state.handle), move |ctx| {
+                run_single_step(st, ctx, step, node)
+            }))
+        }
+        Step::Fused(pipeline) => {
+            let (source_rows, scan_start, sliceable) = match pipeline.source {
+                PipelineSource::Scan { node } => {
+                    let spec = match state.plan.node(node) {
+                        Ok(n) => n.spec.clone(),
+                        Err(e) => {
+                            state.fail(e);
+                            return true;
+                        }
+                    };
+                    let OperatorSpec::ScanColumn { table, column, range } = spec else {
+                        state.fail(EngineError::InvalidPlan(format!(
+                            "pipeline source {node} is not a scan"
+                        )));
+                        return true;
+                    };
+                    let len = match state.catalog.table(&table).and_then(|t| t.column(&column)) {
+                        Ok(col) => col.len(),
+                        Err(e) => {
+                            state.fail(e.into());
+                            return true;
+                        }
+                    };
+                    let end = range.end.min(len);
+                    let start = range.start.min(end);
+                    (end - start, start, true)
+                }
+                PipelineSource::Chunk { producer } => {
+                    let chunk = state.results[producer]
+                        .get()
+                        .expect("chunk-source pipeline launched before its producer");
+                    // Non-positional chunks (hash tables, scalars, partials)
+                    // cannot be sliced; the pipeline still runs, as a single
+                    // morsel covering the whole input.
+                    let sliceable =
+                        matches!(chunk, Chunk::Column(_) | Chunk::Oids { .. } | Chunk::Join { .. });
+                    (chunk.rows(), 0, sliceable)
+                }
+            };
+            let n_morsels =
+                if sliceable { morsel_count(source_rows, state.morsel_rows) } else { 1 };
+            let n_members = pipeline.member_nodes().len();
+            let run = Arc::new(FusedRun {
+                n_morsels,
+                source_rows,
+                scan_start,
+                parts: (0..n_morsels).map(|_| OnceLock::new()).collect(),
+                remaining: AtomicUsize::new(n_morsels),
+                stage_time_us: (0..n_members).map(|_| AtomicU64::new(0)).collect(),
+                stage_rows: (0..n_members).map(|_| AtomicU64::new(0)).collect(),
+                stage_bytes: (0..n_members).map(|_| AtomicU64::new(0)).collect(),
+                morsels_by_worker: (0..state.n_workers).map(|_| AtomicU64::new(0)).collect(),
+                queue_wait_us: AtomicU64::new(0),
+                start_us: state.started.elapsed().as_micros() as u64,
+            });
+            if state.fused_runs[step].set(run).is_err() {
+                state.fail(EngineError::InvalidPlan(format!("step {step} launched twice")));
+                return true;
+            }
+            for morsel in 0..n_morsels {
+                let st = Arc::clone(state);
+                let task = Task::new(Arc::clone(&state.handle), move |ctx| {
+                    run_morsel(st, ctx, step, morsel)
+                });
+                if !submit(task) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Executes a pipeline-breaker step whole, exactly like the
+/// operator-at-a-time path, then advances the step graph.
+fn run_single_step(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, node: NodeId) {
+    if state.failed.load(Ordering::Acquire) {
+        return;
+    }
+    if state.handle.is_cancelled() {
+        return state.fail(EngineError::Cancelled);
+    }
+    if let Err(e) = execute_and_publish(
+        &state.plan,
+        &state.catalog,
+        &state.results,
+        &state.profiles,
+        state.started,
+        state.noise.as_deref(),
+        state.overhead_us,
+        ctx,
+        node,
+    ) {
+        return state.fail(e);
+    }
+    complete_step(&state, ctx, step);
+}
+
+/// Executes one morsel: slices the pipeline's source, streams the slice
+/// through every fused stage, and stores the terminal partial output. The
+/// last morsel to finish assembles and publishes.
+fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morsel: usize) {
+    if state.failed.load(Ordering::Acquire) {
+        return;
+    }
+    if state.handle.is_cancelled() {
+        return state.fail(EngineError::Cancelled);
+    }
+    let Step::Fused(pipeline) = &state.fused.steps[step] else {
+        return state.fail(EngineError::InvalidPlan(format!("step {step} is not a pipeline")));
+    };
+    let run = Arc::clone(
+        state.fused_runs[step].get().expect("morsel dispatched before its step was launched"),
+    );
+    let morsel_rows = state.morsel_rows;
+
+    // The morsel's slice of the pipeline source. Stream slices go through
+    // `slice_part`, which preserves the `stream_base` alignment invariant
+    // (see `crate::chunk::Chunk::Oids`).
+    let mut member = 0;
+    let mut cur: Chunk = match pipeline.source {
+        PipelineSource::Scan { node } => {
+            let spec = match state.plan.node(node) {
+                Ok(n) => n.spec.clone(),
+                Err(e) => return state.fail(e),
+            };
+            let OperatorSpec::ScanColumn { table, column, .. } = spec else {
+                return state.fail(EngineError::InvalidPlan(format!(
+                    "pipeline source {node} is not a scan"
+                )));
+            };
+            let lo = run.scan_start + morsel * morsel_rows;
+            let hi = (lo + morsel_rows).min(run.scan_start + run.source_rows);
+            let sub = OperatorSpec::ScanColumn { table, column, range: RowRange::new(lo, hi) };
+            let started = Instant::now();
+            match guarded_execute(node, &sub, &[], &state.catalog) {
+                Ok(chunk) => {
+                    run.record_stage(member, started, &chunk);
+                    member = 1;
+                    chunk
+                }
+                Err(e) => return state.fail(e),
+            }
+        }
+        PipelineSource::Chunk { producer } => {
+            let chunk = match state.results.get(producer).and_then(OnceLock::get) {
+                Some(chunk) => chunk.clone(),
+                None => {
+                    return state.fail(EngineError::InvalidPlan(format!(
+                        "pipeline over node {producer} ran before it completed"
+                    )));
+                }
+            };
+            if run.n_morsels == 1 {
+                chunk
+            } else {
+                match slice_part(producer, &chunk, morsel * morsel_rows, morsel_rows) {
+                    Ok(slice) => slice,
+                    Err(e) => return state.fail(e),
+                }
+            }
+        }
+    };
+
+    // Stream the morsel through the fused stages while it is cache-hot.
+    for &stage in &pipeline.stages {
+        let node_ref = match state.plan.node(stage) {
+            Ok(n) => n.clone(),
+            Err(e) => return state.fail(e),
+        };
+        let mut inputs: Vec<Chunk> = Vec::with_capacity(node_ref.inputs.len());
+        inputs.push(cur);
+        for &input in node_ref.inputs.iter().skip(1) {
+            match state.results.get(input).and_then(OnceLock::get) {
+                Some(chunk) => inputs.push(chunk.clone()),
+                None => {
+                    return state.fail(EngineError::InvalidPlan(format!(
+                        "stage {stage} ran before its shared input {input} completed"
+                    )));
+                }
+            }
+        }
+        let started = Instant::now();
+        match guarded_execute(stage, &node_ref.spec, &inputs, &state.catalog) {
+            Ok(chunk) => {
+                run.record_stage(member, started, &chunk);
+                member += 1;
+                cur = chunk;
+            }
+            Err(e) => return state.fail(e),
+        }
+    }
+
+    // Emulated overhead / noise apply once per morsel (the morsel is the
+    // dispatch unit here, as the operator is in operator-at-a-time mode).
+    if state.overhead_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(state.overhead_us));
+    }
+    if let Some(noise) = &state.noise {
+        noise.inject();
+    }
+
+    run.morsels_by_worker[ctx.worker].fetch_add(1, Ordering::Relaxed);
+    run.queue_wait_us.fetch_add(ctx.queue_wait.as_micros() as u64, Ordering::Relaxed);
+    if run.parts[morsel].set(cur).is_err() {
+        return state.fail(EngineError::InvalidPlan(format!(
+            "morsel {morsel} of step {step} executed twice"
+        )));
+    }
+    if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        assemble_pipeline(&state, ctx, step, pipeline, &run);
+    }
+}
+
+/// Runs on the worker that finished a pipeline's last morsel: packs the
+/// partial outputs in morsel order (the exchange-union recombination, so the
+/// published chunk is byte-identical to whole-node execution), publishes the
+/// terminal chunk and the per-node/per-pipeline profiles, and advances the
+/// step graph.
+fn assemble_pipeline(
+    state: &Arc<MorselState>,
+    ctx: &TaskContext<'_>,
+    step: usize,
+    pipeline: &Pipeline,
+    run: &FusedRun,
+) {
+    let terminal = pipeline.terminal();
+    let members = pipeline.member_nodes();
+    let terminal_member = members.len() - 1;
+
+    let assembly_started = Instant::now();
+    let final_chunk = if run.n_morsels == 1 {
+        run.parts[0].get().cloned().expect("single morsel completed")
+    } else {
+        let parts: Vec<Chunk> =
+            run.parts.iter().map(|p| p.get().cloned().expect("all morsels completed")).collect();
+        match exchange_union(terminal, &parts) {
+            Ok(chunk) => chunk,
+            Err(e) => return state.fail(e),
+        }
+    };
+    run.stage_time_us[terminal_member]
+        .fetch_add(assembly_started.elapsed().as_micros() as u64, Ordering::Relaxed);
+
+    for (i, &node) in members.iter().enumerate() {
+        let node_ref = match state.plan.node(node) {
+            Ok(n) => n.clone(),
+            Err(e) => return state.fail(e),
+        };
+        let is_terminal = i == terminal_member;
+        let profile = OperatorProfile {
+            node,
+            name: node_ref.spec.name(),
+            start_us: run.start_us,
+            duration_us: run.stage_time_us[i].load(Ordering::Relaxed),
+            // The pipeline's accumulated morsel queue wait is attributed to
+            // the terminal stage so query-level totals stay meaningful
+            // without double counting per fused stage.
+            queue_wait_us: if is_terminal { run.queue_wait_us.load(Ordering::Relaxed) } else { 0 },
+            worker: ctx.worker,
+            rows_out: if is_terminal {
+                final_chunk.rows()
+            } else {
+                run.stage_rows[i].load(Ordering::Relaxed) as usize
+            },
+            bytes_out: if is_terminal {
+                final_chunk.byte_size()
+            } else {
+                run.stage_bytes[i].load(Ordering::Relaxed) as usize
+            },
+        };
+        if state.profiles[node].set(profile).is_err() {
+            return state.fail(EngineError::InvalidPlan(format!("node {node} executed twice")));
+        }
+    }
+
+    state.pipeline_profiles.lock().push(PipelineProfile {
+        step,
+        nodes: members,
+        n_morsels: run.n_morsels,
+        morsel_rows: state.morsel_rows,
+        source_rows: run.source_rows,
+        queue_wait_us: run.queue_wait_us.load(Ordering::Relaxed),
+        morsels_by_worker: run
+            .morsels_by_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    });
+
+    if state.results[terminal].set(final_chunk).is_err() {
+        return state
+            .fail(EngineError::InvalidPlan(format!("node {terminal} produced two results")));
+    }
+    complete_step(state, ctx, step);
+}
+
+/// Marks a step complete: launches consumer steps whose dependencies are now
+/// all satisfied (their tasks go through the task context, so work-stealing
+/// schedulers keep them on the publishing worker's deque) and finishes the
+/// query when every step is done.
+fn complete_step(state: &Arc<MorselState>, ctx: &TaskContext<'_>, step: usize) {
+    for &(consumer, edges) in &state.fused.out_edges[step] {
+        let before = state.step_deps[consumer].fetch_sub(edges, Ordering::AcqRel);
+        if before == edges {
+            launch_step(state, consumer, &|task| {
+                ctx.submit(task);
+                true
+            });
+        }
+    }
     if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         state.finish();
     }
@@ -707,6 +1317,86 @@ mod tests {
         let first = engine.execute_shared(&plan, &cat).unwrap().output;
         for _ in 0..3 {
             assert_eq!(engine.execute_shared(&plan, &cat).unwrap().output, first);
+        }
+    }
+
+    #[test]
+    fn morsel_mode_matches_operator_at_a_time() {
+        let cat = catalog(10_000);
+        let plan = filter_sum_plan(10_000, 500);
+        let reference = Engine::with_workers(2).execute(&plan, &cat).unwrap();
+        for policy in SchedulerPolicy::ALL {
+            let engine = Engine::new(
+                EngineConfig::with_workers(2)
+                    .with_scheduler(policy)
+                    .with_execution_mode(ExecutionMode::MorselDriven)
+                    .with_morsel_rows(1_000),
+            );
+            let exec = engine.execute(&plan, &cat).unwrap();
+            assert_eq!(exec.output, reference.output, "{policy}: morsel mode diverged");
+            // Every live node still gets a profile.
+            assert_eq!(exec.profile.operators.len(), reference.profile.operators.len());
+            // The scan→select→fetch→agg chain fused: 10 morsels of 1000 rows.
+            assert_eq!(exec.profile.pipelines.len(), 1);
+            let pipeline = &exec.profile.pipelines[0];
+            assert_eq!(pipeline.n_morsels, 10);
+            assert_eq!(pipeline.source_rows, 10_000);
+            assert_eq!(exec.profile.total_morsels(), 10);
+            assert_eq!(
+                exec.profile.morsels_by_worker().iter().sum::<u64>(),
+                10,
+                "{policy}: morsel worker counters incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_mode_handles_errors_and_cancellation() {
+        let engine = Engine::new(
+            EngineConfig::with_workers(2).with_execution_mode(ExecutionMode::MorselDriven),
+        );
+        let cat = catalog(100);
+        // Division by zero inside a fused stage fails the query cleanly.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let div = p.add(
+            OperatorSpec::Calc {
+                op: apq_operators::BinaryOp::Div,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(0)),
+            },
+            vec![a],
+        );
+        p.set_root(div);
+        assert!(matches!(engine.execute(&p, &cat), Err(EngineError::Operator(_))));
+
+        // Cancellation before submission aborts the query.
+        let plan = Arc::new(filter_sum_plan(100, 10));
+        let handle = engine.register_query(QueryOptions::default());
+        handle.cancel();
+        let err = engine.execute_with_handle(&plan, &cat, handle).unwrap_err();
+        assert_eq!(err, EngineError::Cancelled);
+
+        // And the engine still executes healthy queries afterwards.
+        let ok = engine.execute(&filter_sum_plan(100, 10), &cat).unwrap();
+        assert_eq!(ok.output, QueryOutput::Scalar(ScalarValue::I64(90)));
+    }
+
+    #[test]
+    fn morsel_mode_respects_admitted_dop() {
+        for policy in SchedulerPolicy::ALL {
+            let engine = Engine::new(
+                EngineConfig::with_workers(4)
+                    .with_scheduler(policy)
+                    .with_execution_mode(ExecutionMode::MorselDriven)
+                    .with_morsel_rows(512),
+            );
+            let cat = catalog(10_000);
+            let plan = Arc::new(filter_sum_plan(10_000, 500));
+            let expected = engine.execute_shared(&plan, &cat).unwrap().output;
+            let handle = engine.register_query(QueryOptions::with_admitted_dop(1));
+            let exec = engine.execute_with_handle(&plan, &cat, handle).unwrap();
+            assert_eq!(exec.output, expected, "{policy}: throttled morsel run diverged");
         }
     }
 

@@ -1,7 +1,7 @@
 //! Node interpreter: executes one plan node given its materialized inputs.
 //!
 //! The paper's run-time environment has "an interpreter per CPU core
-//! [that] executes the scheduled operators" (§2). [`execute_node`] is that
+//! \[that\] executes the scheduled operators" (§2). [`execute_node`] is that
 //! interpreter's body: it dispatches an [`OperatorSpec`] over the input
 //! [`Chunk`]s and materializes the output chunk. It is a pure function —
 //! all scheduling, profiling and threading lives in the executor.
@@ -260,7 +260,12 @@ pub fn execute_node(
 
 /// Positional slice of an intermediate chunk, clamped to the actual length
 /// (the boundary adjustment of paper Fig. 9 for dynamically sized partitions).
-fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) -> Result<Chunk> {
+///
+/// Also the morsel cutter of the morsel-driven execution mode
+/// (`crate::pipeline`): slices of candidate/join streams carry their
+/// `stream_base` offset forward, so fused stages over a morsel emit
+/// correctly labelled stream positions.
+pub(crate) fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) -> Result<Chunk> {
     match input {
         Chunk::Column(c) => {
             let end = (start + len).min(c.len());
@@ -357,7 +362,11 @@ fn stream_order_is_consistent(bases: &[(Oid, usize)]) -> bool {
 }
 
 /// The exchange-union operator: packs same-kind chunks in argument order.
-fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
+///
+/// Doubles as the morsel-driven pipeline assembler: packing the per-morsel
+/// terminal outputs in morsel order is exactly the recombination that makes
+/// morsel execution byte-identical to whole-node execution.
+pub(crate) fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
     let first = inputs.first().ok_or(EngineError::Operator(OperatorError::EmptyInput("union")))?;
     match first {
         Chunk::Oids { .. } => {

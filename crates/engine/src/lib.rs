@@ -12,6 +12,9 @@
 //! * [`executor`] — the shared worker pool and dependency-driven dataflow
 //!   executor ("an operator is scheduled for execution once all its input
 //!   sources are available"), usable concurrently by many client threads;
+//! * [`pipeline`] — the morsel-driven execution mode: fused operator chains
+//!   driven by fixed-size morsels instead of whole-chunk materialization,
+//!   selectable via [`EngineConfig::execution_mode`];
 //! * [`scheduler`] — pluggable task-scheduling policies (shared FIFO vs.
 //!   work-stealing deques), per-query scheduling state ([`QueryHandle`]:
 //!   priority, admitted DOP, cancellation) and per-worker dispatch counters;
@@ -20,11 +23,14 @@
 //! * [`noise`] — reproducible synthetic OS-noise injection for the
 //!   convergence-robustness experiments.
 
+#![warn(missing_docs)]
+
 pub mod chunk;
 pub mod error;
 pub mod executor;
 pub mod interpreter;
 pub mod noise;
+pub mod pipeline;
 pub mod plan;
 pub mod profiler;
 pub mod scheduler;
@@ -33,6 +39,7 @@ pub use chunk::{Chunk, QueryOutput};
 pub use error::{EngineError, Result};
 pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions};
 pub use noise::{NoiseConfig, NoiseInjector};
+pub use pipeline::{ExecutionMode, DEFAULT_MORSEL_ROWS};
 pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};
-pub use profiler::{OperatorProfile, QueryProfile};
+pub use profiler::{OperatorProfile, PipelineProfile, QueryProfile};
 pub use scheduler::{QueryHandle, SchedulerPolicy, SchedulerStats, WorkerStats};

@@ -1,0 +1,577 @@
+//! Morsel-driven pipeline execution (Leis et al., "Morsel-Driven
+//! Parallelism", adapted to this engine's operator-at-a-time plan IR).
+//!
+//! The default execution model materializes every operator's whole output
+//! before any consumer starts ([`ExecutionMode::OperatorAtATime`]). That
+//! leaves the work-stealing scheduler's locality advantage mostly
+//! unexercised: a chunk produced on one core is consumed exactly once, by
+//! one follow-up task. Morsel-driven execution
+//! ([`ExecutionMode::MorselDriven`]) instead *fuses* compatible operator
+//! chains into pipelines, splits each pipeline's input into fixed-size
+//! **morsels** (configurable via [`crate::EngineConfig::morsel_rows`],
+//! default [`DEFAULT_MORSEL_ROWS`] rows) and dispatches one scheduler task
+//! per morsel. Workers pull morsels from their own deques, each morsel flows
+//! through *all* fused stages while its data is cache-hot, and the per-stage
+//! whole-chunk materialization disappears inside the pipeline.
+//!
+//! ```text
+//! operator-at-a-time                 morsel-driven
+//! ==================                 =============
+//!
+//!  scan ──► [whole chunk]            pipeline = scan→select→fetch→agg
+//!            select ──► [chunk]        morsel 0 ─► scan₀ sel₀ fetch₀ agg₀ ─┐
+//!                    fetch ─► [chunk]  morsel 1 ─► scan₁ sel₁ fetch₁ agg₁ ─┼─► assemble
+//!                          agg ─► out  morsel 2 ─► scan₂ sel₂ fetch₂ agg₂ ─┘
+//!  (one task per operator,           (one task per MORSEL; stages fused,
+//!   whole chunks between them)        partial outputs packed in morsel order)
+//! ```
+//!
+//! # Which chains fuse
+//!
+//! A pipeline is a maximal linear chain of *streamable* stages: operators
+//! that process their first (range-aligned) input row-wise while every other
+//! input — hash tables, full columns being fetched into — is shared whole
+//! (see [`crate::plan::OperatorSpec::aligned_inputs`]). Select, fetch, hash
+//! probe / semi / anti join, scalar calc, predicate masks, join-side
+//! projections and partial scalar aggregates all qualify; pipeline breakers
+//! (hash build, grouped aggregation, exchange union, finalize) run
+//! operator-at-a-time between pipelines. Every intermediate stage must have
+//! exactly one consumer (the next stage); only the terminal stage's output
+//! is materialized and published to the rest of the plan.
+//!
+//! One ordering constraint applies inside a chain: once a stage has
+//! *created a new stream* (a selection or join compacts its input, so a
+//! morsel yields only morsel-local ranks), no later stage that *emits
+//! positions* of that stream (another selection or join) may fuse — it
+//! starts its own pipeline over the globally assembled chunk instead (see
+//! `creates_stream` / `emits_positions` below).
+//!
+//! # Result equivalence
+//!
+//! Morsel mode produces **byte-identical** results to operator-at-a-time
+//! under every scheduler policy. Three properties make this hold:
+//!
+//! 1. [`apq_columnar::Column::slice`] preserves absolute base oids, so a
+//!    selection over morsel *k* of a column emits exactly the oids the
+//!    whole-column selection would emit for those rows;
+//! 2. positional slices of candidate/join streams carry their
+//!    `stream_base` offset ([`crate::chunk::Chunk::Oids`], the PR-1
+//!    alignment invariant), so fetches inside a pipeline over a stream
+//!    partition label their outputs with the correct stream position;
+//! 3. partial outputs are assembled strictly in morsel order with the same
+//!    packing/merging the exchange-union operator uses, which is exactly the
+//!    recombination the adaptive mutations already rely on.
+//!
+//! The assembly of partial scalar aggregates merges [`apq_operators::AggState`]s
+//! in morsel order — the identical guarantee the adaptive optimizer's
+//! `FinalizeAgg` combiner provides for mutation-split plans.
+
+use crate::error::Result;
+use crate::plan::{NodeId, OperatorSpec, Plan};
+
+/// Default morsel size, in rows (the ballpark of Leis et al.'s ~100k-tuple
+/// morsels, rounded to a power of two).
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// How the engine turns a validated plan into scheduler tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One task per plan operator; every intermediate result materializes
+    /// whole before its consumers run (the seed engine's model, and the
+    /// model the paper's adaptive optimizer was measured on).
+    #[default]
+    OperatorAtATime,
+    /// Fused operator pipelines driven by fixed-size morsels: one task per
+    /// morsel, partial outputs assembled in morsel order. Byte-identical
+    /// results, different dispatch granularity.
+    ///
+    /// ```
+    /// use apq_engine::{Engine, EngineConfig, ExecutionMode, SchedulerPolicy};
+    ///
+    /// let engine = Engine::new(
+    ///     EngineConfig::with_workers(2)
+    ///         .with_scheduler(SchedulerPolicy::WorkStealing)
+    ///         .with_execution_mode(ExecutionMode::MorselDriven)
+    ///         .with_morsel_rows(8_192),
+    /// );
+    /// assert_eq!(engine.config().execution_mode, ExecutionMode::MorselDriven);
+    /// assert_eq!(engine.config().morsel_rows, 8_192);
+    /// ```
+    MorselDriven,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::OperatorAtATime => f.write_str("operator-at-a-time"),
+            ExecutionMode::MorselDriven => f.write_str("morsel-driven"),
+        }
+    }
+}
+
+/// Where a pipeline's morsels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PipelineSource {
+    /// The pipeline starts at its own `ScanColumn` leaf; morsels are
+    /// sub-ranges of the scan (zero-copy column slices).
+    Scan {
+        /// The scan node (a member of the pipeline).
+        node: NodeId,
+    },
+    /// Morsels are positional slices of an already-materialized chunk
+    /// produced by a node *outside* the pipeline.
+    Chunk {
+        /// The external producer whose published chunk is sliced.
+        producer: NodeId,
+    },
+}
+
+/// A fused chain of operators executed morsel-at-a-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Pipeline {
+    /// Morsel source.
+    pub source: PipelineSource,
+    /// Fused stage nodes in chain order. `stages[0]` consumes the source;
+    /// each later stage consumes its predecessor as first input. Non-empty.
+    pub stages: Vec<NodeId>,
+}
+
+impl Pipeline {
+    /// The stage whose output is materialized and published to the plan.
+    pub fn terminal(&self) -> NodeId {
+        *self.stages.last().expect("pipeline has at least one stage")
+    }
+
+    /// All member node ids (including a scan source), in execution order.
+    pub fn member_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.stages.len() + 1);
+        if let PipelineSource::Scan { node } = self.source {
+            nodes.push(node);
+        }
+        nodes.extend_from_slice(&self.stages);
+        nodes
+    }
+}
+
+/// One schedulable unit of the fused plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// A pipeline breaker (or unfusible node) executed whole, as in
+    /// operator-at-a-time mode.
+    Single(NodeId),
+    /// A fused pipeline executed morsel-at-a-time.
+    Fused(Pipeline),
+}
+
+/// The fused decomposition of a plan: a DAG of [`Step`]s covering every live
+/// node exactly once.
+#[derive(Debug, Clone)]
+pub(crate) struct PipelinePlan {
+    /// The steps, in a valid (topological) execution order.
+    pub steps: Vec<Step>,
+    /// `step_of[node] == Some(step index)` for every live node. Consumed by
+    /// the analysis itself and by diagnostics/tests.
+    #[allow(dead_code)]
+    pub step_of: Vec<Option<usize>>,
+    /// Per step: number of input edges arriving from other steps.
+    pub deps: Vec<usize>,
+    /// Per step: `(consumer step, edge count)` pairs fed by this step's
+    /// published node.
+    pub out_edges: Vec<Vec<(usize, usize)>>,
+}
+
+/// True when `spec` can run as a fused pipeline stage: it streams its first
+/// input row-wise and shares every other input whole.
+///
+/// `Select` and `Calc` only qualify in their single-column-input forms: a
+/// candidate-refining select filters through an unaligned oid list and a
+/// two-column calc has *two* aligned inputs, neither of which a linear chain
+/// can slice consistently. `SlicePart` is excluded because its `start`/`len`
+/// address the whole input, not a morsel of it.
+fn is_fusible_stage(spec: &OperatorSpec, n_inputs: usize) -> bool {
+    match spec {
+        OperatorSpec::Select { .. } | OperatorSpec::Calc { .. } => n_inputs == 1,
+        OperatorSpec::PredMask { .. }
+        | OperatorSpec::Fetch
+        | OperatorSpec::HashProbe
+        | OperatorSpec::SemiJoin
+        | OperatorSpec::AntiJoin
+        | OperatorSpec::ProjectJoinSide { .. }
+        | OperatorSpec::OidsFromColumn
+        | OperatorSpec::ScalarAgg { .. } => true,
+        _ => false,
+    }
+}
+
+/// True when the operator *compacts* its input into a brand-new stream
+/// (candidate list or join result) whose positions are global ranks: a
+/// morsel of the input yields only the morsel-local ranks, so everything
+/// downstream that depends on stream *positions* is morsel-relative.
+fn creates_stream(spec: &OperatorSpec) -> bool {
+    matches!(
+        spec,
+        OperatorSpec::Select { .. }
+            | OperatorSpec::HashProbe
+            | OperatorSpec::SemiJoin
+            | OperatorSpec::AntiJoin
+    )
+}
+
+/// True when the operator's output *values* are positions of its input
+/// (base oid + local index): selections and the join family. Such a stage
+/// may not be fused after a stream-creating stage — its input's base would
+/// be a morsel-local 0 instead of the global stream position, and it would
+/// silently emit morsel-relative positions (the same bug class as the PR-1
+/// `stream_base` fix). Value-transforming stages (fetch, calc, predicate
+/// masks, join-side projections, partial aggregates) are safe anywhere:
+/// their values are correct per morsel and their base labels reassemble to
+/// the operator-at-a-time label (a fresh stream's base 0).
+fn emits_positions(spec: &OperatorSpec) -> bool {
+    creates_stream(spec)
+}
+
+impl PipelinePlan {
+    /// Decomposes a validated plan into pipelines and single-node steps.
+    ///
+    /// Fusion is conservative: a chain only forms where the plan structure
+    /// *guarantees* that intermediate outputs are consumed exactly once, by
+    /// the next stage, as its first input. Everything else — multi-consumer
+    /// fan-out, pipeline breakers, exotic arities — falls back to single-node
+    /// steps that behave exactly like operator-at-a-time execution.
+    pub fn analyze(plan: &Plan) -> Result<PipelinePlan> {
+        let order = plan.topo_order()?;
+        let capacity = plan.capacity();
+        let mut step_of: Vec<Option<usize>> = vec![None; capacity];
+        let mut steps: Vec<Step> = Vec::new();
+
+        // `chain_next(n, stream_created)` = Some(c) when node n's output is
+        // consumed exactly once, by c, as c's first input, and c is a
+        // fusible stage. Once the chain has passed a stream-creating stage
+        // (`stream_created`), position-emitting stages may not join: their
+        // input bases would be morsel-local. They instead start their own
+        // pipeline over the globally assembled chunk, which is correct.
+        let chain_next = |id: NodeId, stream_created: bool| -> Option<NodeId> {
+            let consumers = plan.consumers(id);
+            let [consumer] = consumers.as_slice() else { return None };
+            let node = plan.node(*consumer).ok()?;
+            let occurrences = node.inputs.iter().filter(|&&i| i == id).count();
+            if occurrences != 1 || node.inputs.first() != Some(&id) {
+                return None;
+            }
+            if stream_created && emits_positions(&node.spec) {
+                return None;
+            }
+            is_fusible_stage(&node.spec, node.inputs.len()).then_some(*consumer)
+        };
+
+        for &id in &order {
+            if step_of[id].is_some() {
+                continue;
+            }
+            let node = plan.node(id)?;
+
+            // A pipeline head is either a single-consumer scan feeding a
+            // fusible stage, or a fusible stage whose first input is already
+            // materialized by an external step.
+            let head = match &node.spec {
+                OperatorSpec::ScanColumn { .. } => chain_next(id, false)
+                    .map(|first_stage| (PipelineSource::Scan { node: id }, first_stage)),
+                spec if is_fusible_stage(spec, node.inputs.len()) => {
+                    // Head streams over its producer's published chunk. The
+                    // producer is external by construction: it was assigned
+                    // to an earlier step (topological order), or forms one.
+                    let occurrences = node.inputs.iter().filter(|&&i| i == node.inputs[0]).count();
+                    (occurrences == 1 || node.inputs.len() == 1)
+                        .then_some((PipelineSource::Chunk { producer: node.inputs[0] }, id))
+                }
+                _ => None,
+            };
+
+            let step = match head {
+                Some((source, first_stage)) => {
+                    let mut stages = vec![first_stage];
+                    let mut last = first_stage;
+                    // The head streams over source slices whose bases are
+                    // globally correct (column slices keep absolute oids,
+                    // stream slices keep `stream_base`), so the head itself
+                    // may emit positions; the constraint starts after the
+                    // first in-pipeline stream creator.
+                    let mut stream_created = creates_stream(&plan.node(first_stage)?.spec);
+                    while let Some(next) = chain_next(last, stream_created) {
+                        stream_created |= creates_stream(&plan.node(next)?.spec);
+                        stages.push(next);
+                        last = next;
+                    }
+                    Step::Fused(Pipeline { source, stages })
+                }
+                None => Step::Single(id),
+            };
+
+            let idx = steps.len();
+            match &step {
+                Step::Single(n) => step_of[*n] = Some(idx),
+                Step::Fused(p) => {
+                    for n in p.member_nodes() {
+                        step_of[n] = Some(idx);
+                    }
+                }
+            }
+            steps.push(step);
+        }
+
+        // Step-level dependency edges: count every input reference that
+        // crosses a step boundary. Only published (terminal/single) nodes
+        // can be referenced across steps, by construction.
+        let mut deps = vec![0usize; steps.len()];
+        let mut out_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); steps.len()];
+        for (idx, step) in steps.iter().enumerate() {
+            let members = match step {
+                Step::Single(n) => vec![*n],
+                Step::Fused(p) => p.member_nodes(),
+            };
+            for member in members {
+                for &input in &plan.node(member)?.inputs {
+                    let producer_step = step_of[input].expect("live input is assigned");
+                    if producer_step != idx {
+                        deps[idx] += 1;
+                        match out_edges[producer_step].iter_mut().find(|(c, _)| *c == idx) {
+                            Some((_, count)) => *count += 1,
+                            None => out_edges[producer_step].push((idx, 1)),
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(PipelinePlan { steps, step_of, deps, out_edges })
+    }
+
+    /// Number of fused pipelines in the decomposition (diagnostics/tests).
+    #[allow(dead_code)]
+    pub fn n_pipelines(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Fused(_))).count()
+    }
+}
+
+/// Number of morsels needed to cover `rows` at `morsel_rows` rows per
+/// morsel. Always at least 1, so empty inputs still execute the pipeline
+/// once (empty selections, empty scans and empty aggregates are meaningful
+/// outputs).
+pub(crate) fn morsel_count(rows: usize, morsel_rows: usize) -> usize {
+    let morsel_rows = morsel_rows.max(1);
+    rows.div_ceil(morsel_rows).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apq_columnar::partition::RowRange;
+    use apq_columnar::ScalarValue;
+    use apq_operators::{AggFunc, BinaryOp, CmpOp, Predicate};
+
+    fn scan(col: &str, rows: usize) -> OperatorSpec {
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: col.into(),
+            range: RowRange::new(0, rows),
+        }
+    }
+
+    /// scan(a) → select → fetch(b) → agg → finalize, with b scanned separately.
+    fn filter_sum_plan(rows: usize) -> Plan {
+        let mut p = Plan::new();
+        let a = p.add(scan("a", rows), vec![]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let b = p.add(scan("b", rows), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        p
+    }
+
+    #[test]
+    fn execution_mode_default_and_display() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::OperatorAtATime);
+        assert_eq!(ExecutionMode::OperatorAtATime.to_string(), "operator-at-a-time");
+        assert_eq!(ExecutionMode::MorselDriven.to_string(), "morsel-driven");
+    }
+
+    #[test]
+    fn fuses_scan_select_fetch_agg_chain() {
+        let plan = filter_sum_plan(1000);
+        let fused = PipelinePlan::analyze(&plan).unwrap();
+        // Expected: [scan a, select, fetch, agg] fused; scan b single
+        // (feeds the fetch as a shared, unaligned input); finalize single.
+        assert_eq!(fused.n_pipelines(), 1);
+        let pipeline = fused
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                Step::Fused(p) => Some(p),
+                Step::Single(_) => None,
+            })
+            .unwrap();
+        assert_eq!(pipeline.source, PipelineSource::Scan { node: 0 });
+        assert_eq!(pipeline.stages, vec![1, 3, 4]);
+        assert_eq!(pipeline.terminal(), 4);
+        assert_eq!(pipeline.member_nodes(), vec![0, 1, 3, 4]);
+        // Every live node is assigned to exactly one step.
+        for id in plan.node_ids() {
+            assert!(fused.step_of[id].is_some(), "node {id} unassigned");
+        }
+    }
+
+    #[test]
+    fn step_dependencies_count_cross_step_edges() {
+        let plan = filter_sum_plan(1000);
+        let fused = PipelinePlan::analyze(&plan).unwrap();
+        let pipe_idx = fused.steps.iter().position(|s| matches!(s, Step::Fused(_))).unwrap();
+        let scan_b_idx = fused.step_of[2].unwrap();
+        let fin_idx = fused.step_of[5].unwrap();
+        assert_ne!(pipe_idx, scan_b_idx);
+        // The pipeline waits for scan b (fetch's shared input).
+        assert_eq!(fused.deps[pipe_idx], 1);
+        assert_eq!(fused.deps[scan_b_idx], 0);
+        // Finalize waits for the pipeline's terminal aggregate.
+        assert_eq!(fused.deps[fin_idx], 1);
+        assert!(fused.out_edges[pipe_idx].contains(&(fin_idx, 1)));
+        assert!(fused.out_edges[scan_b_idx].contains(&(pipe_idx, 1)));
+    }
+
+    #[test]
+    fn multi_consumer_nodes_break_chains() {
+        // scan a feeds two selects: no fusion across the fan-out.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let s1 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 5i64) }, vec![a]);
+        let s2 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 5i64) }, vec![a]);
+        let u = p.add(OperatorSpec::ExchangeUnion, vec![s1, s2]);
+        p.set_root(u);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        // The scan is a single step; each select becomes its own chunk-source
+        // pipeline over the scan's chunk; the union is a breaker.
+        assert_eq!(fused.step_of[a], Some(0));
+        assert!(matches!(fused.steps[0], Step::Single(0)));
+        let s1_step = &fused.steps[fused.step_of[s1].unwrap()];
+        assert!(
+            matches!(s1_step, Step::Fused(p) if p.source == PipelineSource::Chunk { producer: a }),
+            "select over a fan-out scan should stream the materialized chunk: {s1_step:?}"
+        );
+        assert!(matches!(fused.steps[fused.step_of[u].unwrap()], Step::Single(_)));
+    }
+
+    #[test]
+    fn candidate_refining_select_is_not_fused() {
+        // select with a candidate-list second input must not stream.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let s1 =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 50i64) }, vec![a]);
+        let b = p.add(scan("b", 100), vec![]);
+        let s2 = p
+            .add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 10i64) }, vec![b, s1]);
+        p.set_root(s2);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let s2_step = &fused.steps[fused.step_of[s2].unwrap()];
+        assert!(matches!(s2_step, Step::Single(_)), "refining select fused: {s2_step:?}");
+    }
+
+    #[test]
+    fn slice_part_never_joins_a_pipeline() {
+        // SlicePart's start/len address the whole input; fusing it under a
+        // morsel slice would re-slice relative coordinates.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 50i64) }, vec![a]);
+        let part = p.add(OperatorSpec::SlicePart { start: 10, len: 20 }, vec![sel]);
+        p.set_root(part);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let part_step = &fused.steps[fused.step_of[part].unwrap()];
+        assert!(matches!(part_step, Step::Single(_)));
+        // But a fusible consumer of the SlicePart streams its chunk.
+        let mut p2 = Plan::new();
+        let a = p2.add(scan("a", 100), vec![]);
+        let part = p2.add(OperatorSpec::SlicePart { start: 10, len: 20 }, vec![a]);
+        let calc = p2.add(
+            OperatorSpec::Calc {
+                op: BinaryOp::Add,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(1)),
+            },
+            vec![part],
+        );
+        p2.set_root(calc);
+        let fused2 = PipelinePlan::analyze(&p2).unwrap();
+        let calc_step = &fused2.steps[fused2.step_of[calc].unwrap()];
+        assert!(
+            matches!(calc_step, Step::Fused(pl) if pl.source == PipelineSource::Chunk { producer: part }),
+        );
+    }
+
+    #[test]
+    fn position_emitters_do_not_fuse_after_a_stream_creator() {
+        // scan → select → fetch → semijoin: the select creates a new
+        // candidate stream per morsel, so the semijoin (which emits stream
+        // positions) must not join the chain — it gets its own pipeline
+        // over the assembled fetch output.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 4_000), vec![]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 3_995i64) }, vec![a]);
+        let b = p.add(scan("b", 4_000), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let dim = p.add(scan("k", 10), vec![]);
+        let hash = p.add(OperatorSpec::HashBuild, vec![dim]);
+        let semi = p.add(OperatorSpec::SemiJoin, vec![fetch, hash]);
+        p.set_root(semi);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+
+        let first = &fused.steps[fused.step_of[a].unwrap()];
+        assert!(
+            matches!(first, Step::Fused(pl) if pl.stages == vec![sel, fetch]),
+            "chain should stop before the semijoin: {first:?}"
+        );
+        let semi_step = &fused.steps[fused.step_of[semi].unwrap()];
+        assert!(
+            matches!(semi_step, Step::Fused(pl) if pl.source == PipelineSource::Chunk { producer: fetch }
+                && pl.stages == vec![semi]),
+            "semijoin should start its own pipeline over the assembled chunk: {semi_step:?}"
+        );
+
+        // A probe directly over a base column (no prior stream creator)
+        // still fuses, and value-transforming stages may follow it.
+        let mut p2 = Plan::new();
+        let outer = p2.add(scan("a", 4_000), vec![]);
+        let dim = p2.add(scan("k", 10), vec![]);
+        let hash = p2.add(OperatorSpec::HashBuild, vec![dim]);
+        let join = p2.add(OperatorSpec::HashProbe, vec![outer, hash]);
+        let side = p2
+            .add(OperatorSpec::ProjectJoinSide { side: crate::plan::JoinSide::Outer }, vec![join]);
+        let vals = p2.add(scan("b", 4_000), vec![]);
+        let fetched = p2.add(OperatorSpec::Fetch, vec![side, vals]);
+        let agg = p2.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetched]);
+        let fin = p2.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p2.set_root(fin);
+        let fused2 = PipelinePlan::analyze(&p2).unwrap();
+        let chain = &fused2.steps[fused2.step_of[join].unwrap()];
+        assert!(
+            matches!(chain, Step::Fused(pl) if pl.stages == vec![join, side, fetched, agg]),
+            "probe + value transforms should stay fused: {chain:?}"
+        );
+    }
+
+    #[test]
+    fn morsel_count_covers_all_rows() {
+        assert_eq!(morsel_count(0, 1024), 1);
+        assert_eq!(morsel_count(1, 1024), 1);
+        assert_eq!(morsel_count(1024, 1024), 1);
+        assert_eq!(morsel_count(1025, 1024), 2);
+        assert_eq!(morsel_count(10_000, 1024), 10);
+        assert_eq!(morsel_count(10, 0), 10, "morsel_rows 0 is clamped to 1");
+    }
+}

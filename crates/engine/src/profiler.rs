@@ -1,6 +1,6 @@
 //! Execution profiling.
 //!
-//! The paper's run-time environment includes "a profiler [that] gathers
+//! The paper's run-time environment includes "a profiler \[that\] gathers
 //! performance data on an executed operator basis ... the profiled data
 //! consists of operator's execution time, memory claims, and thread
 //! affiliation id" (§2). Adaptive parallelization is driven purely by this
@@ -43,6 +43,30 @@ pub struct OperatorProfile {
     pub bytes_out: usize,
 }
 
+/// Profile of one fused pipeline executed in morsel-driven mode
+/// ([`crate::pipeline`]): how the pipeline's input was cut into morsels and
+/// which workers pulled them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineProfile {
+    /// Index of the pipeline's step in the fused decomposition of the plan.
+    pub step: usize,
+    /// Member node ids (scan source first, then the fused stages in chain
+    /// order; the last entry is the terminal whose output was published).
+    pub nodes: Vec<NodeId>,
+    /// Number of morsels the source was cut into (≥ 1; empty inputs still
+    /// run one morsel).
+    pub n_morsels: usize,
+    /// Configured morsel size, in rows ([`crate::EngineConfig::morsel_rows`]).
+    pub morsel_rows: usize,
+    /// Rows of the pipeline's source (effective scan range or input chunk).
+    pub source_rows: usize,
+    /// Total time the pipeline's morsel tasks spent queued, microseconds.
+    pub queue_wait_us: u64,
+    /// Morsels executed per worker, indexed by worker id — the locality
+    /// signal of the work-stealing comparison (fig19's morsel counters).
+    pub morsels_by_worker: Vec<u64>,
+}
+
 /// Profile of one executed query.
 #[derive(Debug, Clone)]
 pub struct QueryProfile {
@@ -56,6 +80,8 @@ pub struct QueryProfile {
     pub concurrent_peers: usize,
     /// Per-operator profiles (every executed node appears exactly once).
     pub operators: Vec<OperatorProfile>,
+    /// Per-pipeline morsel statistics; empty in operator-at-a-time mode.
+    pub pipelines: Vec<PipelineProfile>,
 }
 
 impl QueryProfile {
@@ -112,6 +138,26 @@ impl QueryProfile {
             return 0.0;
         }
         self.workers_used() as f64 / self.n_workers as f64
+    }
+
+    /// Total morsels dispatched across all pipelines (0 in
+    /// operator-at-a-time mode).
+    pub fn total_morsels(&self) -> usize {
+        self.pipelines.iter().map(|p| p.n_morsels).sum()
+    }
+
+    /// Morsels executed per worker, aggregated over all pipelines and
+    /// indexed by worker id (all zeros in operator-at-a-time mode).
+    pub fn morsels_by_worker(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_workers];
+        for pipeline in &self.pipelines {
+            for (worker, count) in pipeline.morsels_by_worker.iter().enumerate() {
+                if let Some(slot) = out.get_mut(worker) {
+                    *slot += count;
+                }
+            }
+        }
+        out
     }
 
     /// Profile of a specific plan node.
@@ -252,6 +298,7 @@ mod tests {
                 op(3, "union", 500, 100, 1),
                 op(4, "aggregate", 650, 200, 0),
             ],
+            pipelines: vec![],
         }
     }
 
@@ -308,12 +355,42 @@ mod tests {
     }
 
     #[test]
+    fn morsel_aggregation() {
+        let mut p = sample();
+        assert_eq!(p.total_morsels(), 0);
+        assert_eq!(p.morsels_by_worker(), vec![0, 0, 0, 0]);
+        p.pipelines = vec![
+            PipelineProfile {
+                step: 0,
+                nodes: vec![0, 1],
+                n_morsels: 3,
+                morsel_rows: 1024,
+                source_rows: 2500,
+                queue_wait_us: 10,
+                morsels_by_worker: vec![2, 1, 0, 0],
+            },
+            PipelineProfile {
+                step: 2,
+                nodes: vec![2],
+                n_morsels: 2,
+                morsel_rows: 1024,
+                source_rows: 1100,
+                queue_wait_us: 5,
+                morsels_by_worker: vec![0, 1, 1, 0],
+            },
+        ];
+        assert_eq!(p.total_morsels(), 5);
+        assert_eq!(p.morsels_by_worker(), vec![2, 2, 1, 0]);
+    }
+
+    #[test]
     fn degenerate_profiles() {
         let p = QueryProfile {
             wall_time: Duration::ZERO,
             n_workers: 0,
             concurrent_peers: 0,
             operators: vec![],
+            pipelines: vec![],
         };
         assert_eq!(p.total_cpu_us(), 0);
         assert_eq!(p.workers_used(), 0);

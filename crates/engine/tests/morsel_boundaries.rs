@@ -1,0 +1,267 @@
+//! Morsel-boundary regression tests.
+//!
+//! Morsel-driven execution cuts pipeline inputs at fixed row counts, so the
+//! dangerous inputs are the ones whose sizes do *not* divide evenly: the
+//! last morsel is short, single-morsel pipelines take the no-slice fast
+//! path, and stream partitions (`SlicePart`) start at offsets that are not
+//! multiples of the morsel size. Every case must produce byte-identical
+//! results to operator-at-a-time execution — including the `stream_base`
+//! candidate-stream alignment invariant fixed in PR 1: a pipeline fusing
+//! `fetch → probe` over a partition of a candidate stream must label its
+//! outputs with absolute stream positions, not morsel-local ones.
+
+use std::sync::Arc;
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, TableBuilder};
+use apq_engine::plan::{JoinSide, OperatorSpec, Plan};
+use apq_engine::{Engine, EngineConfig, ExecutionMode, QueryOutput, SchedulerPolicy};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("fact")
+            .i64_column("fk", (0..rows as i64).map(|v| (v * 13) % 50).collect())
+            .i64_column("measure", (0..rows as i64).map(|v| v % 1000).collect())
+            .i64_column("grp", (0..rows as i64).map(|v| (v * 7) % 5).collect())
+            .build()
+            .unwrap(),
+    );
+    c.register(TableBuilder::new("dim").i64_column("key", (0..20).collect()).build().unwrap());
+    Arc::new(c)
+}
+
+fn morsel_engine(policy: SchedulerPolicy, morsel_rows: usize) -> Engine {
+    Engine::new(
+        EngineConfig::with_workers(3)
+            .with_scheduler(policy)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+            .with_morsel_rows(morsel_rows),
+    )
+}
+
+/// Select → fetch → group-sum over the fact table.
+fn grouped_sum_plan(rows: usize) -> Plan {
+    let mut p = Plan::new();
+    let full = RowRange::new(0, rows);
+    let scan = |col: &str| OperatorSpec::ScanColumn {
+        table: "fact".into(),
+        column: col.into(),
+        range: full,
+    };
+    let grp = p.add(scan("grp"), vec![]);
+    let cands =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 4i64) }, vec![grp]);
+    let measure = p.add(scan("measure"), vec![]);
+    let fetched_measure = p.add(OperatorSpec::Fetch, vec![cands, measure]);
+    let fetched_grp = p.add(OperatorSpec::Fetch, vec![cands, grp]);
+    let grouped =
+        p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![fetched_grp, fetched_measure]);
+    let merged = p.add(OperatorSpec::MergeGrouped, vec![grouped]);
+    p.set_root(merged);
+    p
+}
+
+/// The PR-1 stream-alignment shape: a hash probe cloned over `SlicePart`
+/// partitions of a candidate stream, cut at `k`.
+fn probe_over_stream_plan(rows: usize, split: Option<usize>) -> Plan {
+    let mut p = Plan::new();
+    let full = RowRange::new(0, rows);
+    let scan = |col: &str| OperatorSpec::ScanColumn {
+        table: "fact".into(),
+        column: col.into(),
+        range: full,
+    };
+
+    let grp = p.add(scan("grp"), vec![]);
+    let cands =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 4i64) }, vec![grp]);
+    let fk_col = p.add(scan("fk"), vec![]);
+    let measure_col = p.add(scan("measure"), vec![]);
+    let measure_stream = p.add(OperatorSpec::Fetch, vec![cands, measure_col]);
+    let grp_stream = p.add(OperatorSpec::Fetch, vec![cands, grp]);
+
+    let dim_key = p.add(
+        OperatorSpec::ScanColumn {
+            table: "dim".into(),
+            column: "key".into(),
+            range: RowRange::new(0, 20),
+        },
+        vec![],
+    );
+    let hash = p.add(OperatorSpec::HashBuild, vec![dim_key]);
+
+    let join_union = match split {
+        None => {
+            let fk_stream = p.add(OperatorSpec::Fetch, vec![cands, fk_col]);
+            p.add(OperatorSpec::HashProbe, vec![fk_stream, hash])
+        }
+        Some(k) => {
+            let cands1 = p.add(OperatorSpec::SlicePart { start: 0, len: k }, vec![cands]);
+            let cands2 = p.add(OperatorSpec::SlicePart { start: k, len: rows }, vec![cands]);
+            let fk1 = p.add(OperatorSpec::Fetch, vec![cands1, fk_col]);
+            let fk2 = p.add(OperatorSpec::Fetch, vec![cands2, fk_col]);
+            let j1 = p.add(OperatorSpec::HashProbe, vec![fk1, hash]);
+            let j2 = p.add(OperatorSpec::HashProbe, vec![fk2, hash]);
+            p.add(OperatorSpec::ExchangeUnion, vec![j1, j2])
+        }
+    };
+
+    let outer = p.add(OperatorSpec::ProjectJoinSide { side: JoinSide::Outer }, vec![join_union]);
+    let grp_j = p.add(OperatorSpec::Fetch, vec![outer, grp_stream]);
+    let measure_j = p.add(OperatorSpec::Fetch, vec![outer, measure_stream]);
+    let grouped = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![grp_j, measure_j]);
+    let merged = p.add(OperatorSpec::MergeGrouped, vec![grouped]);
+    p.set_root(merged);
+    p
+}
+
+#[test]
+fn non_divisible_morsel_sizes_match_operator_at_a_time() {
+    // 4_001 rows is prime-ish on purpose: no morsel size below divides it.
+    let rows = 4_001;
+    let cat = catalog(rows);
+    let plan = grouped_sum_plan(rows);
+    let expected = Engine::with_workers(3).execute(&plan, &cat).unwrap().output;
+    assert!(matches!(expected, QueryOutput::Groups(ref g) if !g.is_empty()));
+
+    for policy in SchedulerPolicy::ALL {
+        for morsel_rows in [7, 13, 100, 1_000, 3_999, 4_001, 1 << 20] {
+            let engine = morsel_engine(policy, morsel_rows);
+            let exec = engine.execute(&plan, &cat).unwrap();
+            assert_eq!(
+                exec.output, expected,
+                "{policy}, morsel_rows {morsel_rows}: morsel mode diverged"
+            );
+            // The fan-out covered every source row.
+            for pipeline in &exec.profile.pipelines {
+                assert_eq!(
+                    pipeline.n_morsels,
+                    pipeline.source_rows.div_ceil(morsel_rows).max(1),
+                    "{policy}, morsel_rows {morsel_rows}: wrong fan-out"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_partitions_keep_alignment_under_morsel_execution() {
+    // SlicePart partitions of a candidate stream start at offsets that are
+    // not multiples of the morsel size; the fused fetch → probe chains over
+    // each partition must emit absolute stream positions (stream_base).
+    let rows = 4_000;
+    let cat = catalog(rows);
+    let whole = probe_over_stream_plan(rows, None);
+    let expected = Engine::with_workers(3).execute(&whole, &cat).unwrap().output;
+
+    for policy in SchedulerPolicy::ALL {
+        for (cut, morsel_rows) in [(1, 100), (7, 64), (100, 77), (1_000, 512), (2_000, 4_096)] {
+            let split = probe_over_stream_plan(rows, Some(cut));
+            let engine = morsel_engine(policy, morsel_rows);
+            let out = engine.execute(&split, &cat).unwrap().output;
+            assert_eq!(
+                out, expected,
+                "{policy}: probe over stream cut at {cut} (morsels of {morsel_rows}) \
+                 redistributed rows"
+            );
+            // The unsplit plan must agree too.
+            let out = engine.execute(&whole, &cat).unwrap().output;
+            assert_eq!(out, expected, "{policy}: unsplit plan diverged under morsels");
+        }
+    }
+}
+
+#[test]
+fn position_emitters_after_in_pipeline_selections_stay_global() {
+    // Regression: scan → select → fetch → semijoin. The select compacts each
+    // morsel into a fresh candidate stream, so a semijoin fused behind it
+    // would emit positions wrapping back to 0 at every morsel boundary.
+    // The analysis must split the chain so the semijoin runs over the
+    // globally assembled stream, and the output must match
+    // operator-at-a-time exactly.
+    let rows = 4_000;
+    let cat = catalog(rows);
+    let mut p = Plan::new();
+    let grp = p.add(
+        OperatorSpec::ScanColumn {
+            table: "fact".into(),
+            column: "grp".into(),
+            range: RowRange::new(0, rows),
+        },
+        vec![],
+    );
+    let sel = p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 4i64) }, vec![grp]);
+    let fk = p.add(
+        OperatorSpec::ScanColumn {
+            table: "fact".into(),
+            column: "fk".into(),
+            range: RowRange::new(0, rows),
+        },
+        vec![],
+    );
+    let fetched = p.add(OperatorSpec::Fetch, vec![sel, fk]);
+    let dim = p.add(
+        OperatorSpec::ScanColumn {
+            table: "dim".into(),
+            column: "key".into(),
+            range: RowRange::new(0, 20),
+        },
+        vec![],
+    );
+    let hash = p.add(OperatorSpec::HashBuild, vec![dim]);
+    let semi = p.add(OperatorSpec::SemiJoin, vec![fetched, hash]);
+    p.set_root(semi);
+
+    let expected = Engine::with_workers(3).execute(&p, &cat).unwrap().output;
+    let QueryOutput::Oids(ref oids) = expected else { panic!("semijoin returns oids") };
+    assert!(!oids.is_empty());
+    // Sanity: positions are a strictly increasing global sequence.
+    assert!(oids.windows(2).all(|w| w[0] < w[1]), "reference positions not global");
+
+    for policy in SchedulerPolicy::ALL {
+        for morsel_rows in [100, 500, 777, 4_096] {
+            let engine = morsel_engine(policy, morsel_rows);
+            let out = engine.execute(&p, &cat).unwrap().output;
+            assert_eq!(
+                out, expected,
+                "{policy}, morsel_rows {morsel_rows}: semijoin after in-pipeline select \
+                 emitted morsel-local positions"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_and_empty_inputs_execute_as_single_morsels() {
+    let cat = catalog(10);
+    for policy in SchedulerPolicy::ALL {
+        let engine = morsel_engine(policy, 1 << 16);
+        // Input much smaller than a morsel.
+        let plan = grouped_sum_plan(10);
+        let expected = Engine::with_workers(2).execute(&plan, &cat).unwrap().output;
+        let exec = engine.execute(&plan, &cat).unwrap();
+        assert_eq!(exec.output, expected);
+        assert!(exec.profile.pipelines.iter().all(|p| p.n_morsels == 1));
+
+        // A selection that keeps nothing: empty streams still flow through.
+        let mut p = Plan::new();
+        let grp = p.add(
+            OperatorSpec::ScanColumn {
+                table: "fact".into(),
+                column: "grp".into(),
+                range: RowRange::new(0, 10),
+            },
+            vec![],
+        );
+        let none =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, -1i64) }, vec![grp]);
+        let fetched = p.add(OperatorSpec::Fetch, vec![none, grp]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Count }, vec![fetched]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Count }, vec![agg]);
+        p.set_root(fin);
+        let expected = Engine::with_workers(2).execute(&p, &cat).unwrap().output;
+        assert_eq!(engine.execute(&p, &cat).unwrap().output, expected);
+    }
+}

@@ -7,11 +7,11 @@
 //!
 //! Operator inventory (paper §2.1/§2.2):
 //!
-//! * [`select`] — predicate evaluation producing a candidate oid list
+//! * [`mod@select`] — predicate evaluation producing a candidate oid list
 //!   (`algebra.select` / `uselect`), optionally restricted by a previous
 //!   candidate list (the "filter operator which ... accepts column and also a
 //!   bit vector from another selection operator's output").
-//! * [`fetch`] — tuple reconstruction (`algebra.leftfetchjoin`) with the
+//! * [`mod@fetch`] — tuple reconstruction (`algebra.leftfetchjoin`) with the
 //!   boundary-alignment handling of paper Fig. 9/10.
 //! * [`join`] — hash join build and probe; only the outer side is ever
 //!   partitioned, matching the paper's join parallelization.

@@ -5,7 +5,7 @@
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]` inner
 //!   attribute) generating one `#[test]` per property;
-//! * [`Strategy`] implementations for integer/float ranges, tuples of
+//! * [`strategy::Strategy`] implementations for integer/float ranges, tuples of
 //!   strategies, and [`collection::vec`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * [`test_runner::ProptestConfig`] with the `cases` knob.

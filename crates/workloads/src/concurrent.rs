@@ -2,7 +2,7 @@
 //!
 //! The paper's concurrent experiments (Fig. 1, Fig. 16, §4.2.3) run "a heavy
 //! concurrent CPU bound workload, which ensures 0 % CPU core idleness", with
-//! "32 clients invok[ing] queries repeatedly", and measure the response time
+//! "32 clients invok\[ing\] queries repeatedly", and measure the response time
 //! of a query of interest while that background load is active. This module
 //! provides exactly that harness:
 //!

@@ -1,0 +1,113 @@
+//! Cross-mode equivalence: morsel-driven execution must produce
+//! byte-identical results to operator-at-a-time execution for every
+//! evaluated query, under both scheduler policies.
+//!
+//! This is the execution-layer analogue of `integration_correctness.rs`:
+//! plan mutation changes *what the plan looks like*, the execution mode
+//! changes *how a fixed plan is dispatched* — neither may change what a
+//! query returns. Serial plans exercise scan-source pipelines; the
+//! heuristically parallelized plans exercise chunk-source pipelines over
+//! `SlicePart` stream partitions (the PR-1 `stream_base` alignment
+//! invariant, now also load-bearing for morsel slicing).
+
+use std::sync::Arc;
+
+use adaptive_parallelization::baselines::heuristic_parallelize;
+use adaptive_parallelization::engine::{
+    Engine, EngineConfig, ExecutionMode, Plan, QueryOutput, SchedulerPolicy,
+};
+use adaptive_parallelization::workloads::tpcds::{self, TpcdsQuery, TpcdsScale};
+use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
+use apq_columnar::Catalog;
+
+const WORKERS: usize = 4;
+/// Small enough that the ~12k-row sample workloads split into many morsels.
+const MORSEL_ROWS: usize = 1_000;
+
+fn morsel_engine(policy: SchedulerPolicy) -> Engine {
+    Engine::new(
+        EngineConfig::with_workers(WORKERS)
+            .with_scheduler(policy)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+            .with_morsel_rows(MORSEL_ROWS),
+    )
+}
+
+/// Executes `plan` operator-at-a-time, then under morsel mode with both
+/// scheduler policies, asserting identical outputs throughout.
+fn assert_modes_agree(
+    label: &str,
+    plan: &Plan,
+    catalog: &Arc<Catalog>,
+    reference: &Engine,
+) -> QueryOutput {
+    let expected = reference.execute(plan, catalog).expect("operator-at-a-time executes").output;
+    for policy in SchedulerPolicy::ALL {
+        let engine = morsel_engine(policy);
+        let exec = engine.execute(plan, catalog).expect("morsel mode executes");
+        assert_eq!(exec.output, expected, "{label} [{policy}]: morsel mode diverged");
+        // Morsel mode really ran morsel-wise: profiles carry pipelines and
+        // every executed node is profiled exactly once.
+        assert_eq!(
+            exec.profile.operators.len(),
+            plan.node_count(),
+            "{label} [{policy}]: missing operator profiles"
+        );
+        assert_eq!(
+            exec.profile.morsels_by_worker().iter().sum::<u64>() as usize,
+            exec.profile.total_morsels(),
+            "{label} [{policy}]: per-worker morsel counters do not add up"
+        );
+    }
+    expected
+}
+
+#[test]
+fn tpch_serial_and_heuristic_plans_match_across_modes() {
+    let catalog = tpch::generate(TpchScale::new(0.002), 1234);
+    let reference = Engine::with_workers(WORKERS);
+    for query in TpchQuery::all() {
+        let serial = query.build(&catalog).expect("serial plan builds");
+        let expected =
+            assert_modes_agree(&format!("{query} serial"), &serial, &catalog, &reference);
+
+        // Heuristic plans contain SlicePart partitions, exchange unions and
+        // cloned probes — the chunk-source pipeline shapes.
+        let hp = heuristic_parallelize(&serial, &catalog, WORKERS).expect("HP rewrite");
+        let hp_out = assert_modes_agree(&format!("{query} HP"), &hp, &catalog, &reference);
+        assert_eq!(hp_out, expected, "{query}: HP plan diverged from serial");
+    }
+}
+
+#[test]
+fn tpcds_serial_and_heuristic_plans_match_across_modes() {
+    let catalog = tpcds::generate(TpcdsScale::new(0.002), 77);
+    let reference = Engine::with_workers(WORKERS);
+    for query in TpcdsQuery::all() {
+        let serial = query.build(&catalog).expect("serial plan builds");
+        let expected =
+            assert_modes_agree(&format!("{query} serial"), &serial, &catalog, &reference);
+
+        let hp = heuristic_parallelize(&serial, &catalog, WORKERS).expect("HP rewrite");
+        let hp_out = assert_modes_agree(&format!("{query} HP"), &hp, &catalog, &reference);
+        assert_eq!(hp_out, expected, "{query}: HP plan diverged from serial");
+    }
+}
+
+#[test]
+fn morsel_mode_is_deterministic_across_repeats() {
+    // Scheduling is nondeterministic; results must not be. Repeat a query
+    // whose pipelines see heavy inter-worker stealing.
+    let catalog = tpch::generate(TpchScale::new(0.002), 99);
+    let serial = TpchQuery::Q14.build(&catalog).expect("Q14 builds");
+    let engine = morsel_engine(SchedulerPolicy::WorkStealing);
+    let plan = Arc::new(serial);
+    let first = engine.execute_shared(&plan, &catalog).expect("executes").output;
+    for _ in 0..5 {
+        assert_eq!(
+            engine.execute_shared(&plan, &catalog).expect("executes").output,
+            first,
+            "morsel-driven Q14 results varied across repeats"
+        );
+    }
+}
