@@ -106,6 +106,7 @@ mod tests {
             n_workers: 4,
             concurrent_peers: 0,
             pipelines: vec![],
+            dop_timeline: vec![],
             operators: costs
                 .iter()
                 .map(|&(node, duration_us, rows_out)| OperatorProfile {

@@ -147,6 +147,7 @@ mod tests {
             n_workers: 4,
             concurrent_peers: 0,
             pipelines: vec![],
+            dop_timeline: vec![],
             operators: plan
                 .node_ids()
                 .into_iter()
@@ -320,6 +321,7 @@ mod tests {
             n_workers: 1,
             concurrent_peers: 0,
             pipelines: vec![],
+            dop_timeline: vec![],
             operators: vec![],
         };
         assert!(clone_over_partitions(&mut p2, &empty_prof, fetch2).is_err());

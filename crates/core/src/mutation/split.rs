@@ -144,6 +144,7 @@ mod tests {
             n_workers: 2,
             concurrent_peers: 0,
             pipelines: vec![],
+            dop_timeline: vec![],
             operators: rows
                 .iter()
                 .map(|&(node, rows_out)| OperatorProfile {

@@ -6,8 +6,13 @@
 //! than by base-table position (a fetch output, a join result, a projected
 //! join side). Plan mutations cut such streams positionally
 //! ([`crate::plan::OperatorSpec::SlicePart`]), and the morsel-driven
-//! execution mode ([`crate::pipeline`]) cuts them again into morsels. The
-//! invariant, introduced by the PR-1 correctness fix:
+//! execution mode ([`crate::pipeline`]) cuts them again into morsels. Note
+//! that the morsel size is **not a per-engine constant**: the elastic
+//! resource controller ([`crate::controller`]) may re-size it per pipeline
+//! *launch* (never within a launched pipeline), so nothing below this layer
+//! may assume two pipelines of one query used the same cut width — only the
+//! `stream_base` labels make slices position-safe, not any fixed stride.
+//! The invariant, introduced by the PR-1 correctness fix:
 //!
 //! > Every positional partition of a stream remembers its offset within the
 //! > stream (`stream_base`), and every positionally-aligned output carries
@@ -20,7 +25,7 @@
 //! the invariant does not crash — it silently pairs rows across the wrong
 //! partitions (historically: group sums redistributed across groups; see
 //! `crates/engine/tests/stream_alignment.rs` for the deterministic
-//! regression and `docs/architecture.md` §5 for the full story).
+//! regression and `docs/architecture.md` §6 for the full story).
 //!
 //! **New position-emitting operators must follow the same three rules:**
 //! read the input's `stream_base`, emit `base + local index`, and label any

@@ -1,0 +1,475 @@
+//! The elastic resource controller: a feedback loop over live scheduler
+//! signals, closing the paper's Vectorwise-comparison gap (§4.2.4).
+//!
+//! One-shot admission control grants a query its degree of parallelism once,
+//! at admit time, and never revisits the decision — the regime the paper
+//! hypothesizes degrades to serial execution under sustained concurrency.
+//! This module adds the missing half of a real resource governor: a
+//! controller that runs alongside the scheduler, periodically reads the live
+//! signals every in-flight query already exports, and acts on two levers.
+//!
+//! ```text
+//!              signals in                          levers out
+//!              ──────────                          ──────────
+//!   Engine::active_queries() ──┐            ┌──► QueryHandle::set_admitted_dop
+//!   QueryHandle::signals()     │  ┌──────┐  │    (elastic DOP re-grant /
+//!     (queue_wait, busy) ──────┼─►│ tick │──┤     claw-back)
+//!   Scheduler::pending_tasks() │  └──────┘  │
+//!     (pool pressure) ─────────┘            └──► QueryHandle::set_morsel_rows
+//!                                                (adaptive morsel sizing)
+//! ```
+//!
+//! **Lever 1 — elastic DOP.** Every governed query (admitted with a nonzero
+//! DOP cap) is entitled to an equal share of the pool:
+//! `target = max(1, total_dop / n_governed)`. When clients finish,
+//! `n_governed` shrinks and survivors are re-granted up to their larger
+//! share; when new clients are admitted, the shares shrink and running
+//! queries are clawed back. Claw-backs drain gracefully: the scheduler
+//! re-reads the cap at every slot acquisition, so a cap below the number of
+//! currently running tasks just stops granting new slots — nothing is
+//! pre-empted.
+//!
+//! **Lever 2 — adaptive morsel sizing.** Per query, per tick, the controller
+//! diffs the cumulative queue-wait/busy signals and computes the interval's
+//! *wait share*. A high share means the query's tasks queue behind the pool
+//! (dispatch overhead dominates): the morsel size is doubled, halving the
+//! task count. A low share *with idle pool capacity* (fewer pending tasks
+//! than workers) means workers starve between morsels: the size is halved,
+//! fanning wider. Sizes are clamped to
+//! [`ControllerConfig::min_morsel_rows`], [`ControllerConfig::max_morsel_rows`].
+//!
+//! **Stability rules** (see `docs/architecture.md` §5 for the full spec):
+//! geometric steps only (×2 / ÷2), at most one step per query per tick, a
+//! dead band between the two watermarks where nothing changes, and a
+//! minimum-signal floor ([`ControllerConfig::min_signal_us`]) so ticks that
+//! observed almost no new work take no action. DOP targets are computed
+//! fresh each tick from the governed-query count, so the lever is
+//! idempotent: repeated ticks over an unchanged population write nothing.
+//!
+//! **Correctness is unaffected by construction.** The DOP cap only throttles
+//! dispatch concurrency, and the morsel size only changes how a pipeline's
+//! input is cut — assembly in morsel order is size-invariant, so results
+//! stay byte-identical to any static configuration
+//! (`tests/integration_morsel_equivalence.rs` asserts exactly that, with the
+//! controller ticking at full speed).
+//!
+//! Enable it via [`crate::EngineConfig::with_controller`]:
+//!
+//! ```
+//! use std::time::Duration;
+//! use apq_engine::{ControllerConfig, Engine, EngineConfig, QueryOptions};
+//!
+//! let engine = Engine::new(
+//!     EngineConfig::with_workers(2)
+//!         .with_controller(ControllerConfig::default().with_tick(Duration::from_millis(1))),
+//! );
+//! // A query admitted under throttling...
+//! let handle = engine.register_query(QueryOptions::with_admitted_dop(1));
+//! // ...is re-granted the whole pool as soon as a tick sees it alone.
+//! // (Ticks run on a background thread; `controller_tick` forces one
+//! // synchronously, which tests and examples use for determinism.)
+//! # drop(handle);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::scheduler::QueryHandle;
+
+/// Configuration of the elastic resource controller
+/// ([`crate::EngineConfig::controller`]; `None` disables the subsystem
+/// entirely and reproduces static-admission behavior).
+///
+/// ```
+/// use std::time::Duration;
+/// use apq_engine::ControllerConfig;
+///
+/// let cfg = ControllerConfig::default()
+///     .with_tick(Duration::from_millis(2))
+///     .with_total_dop(8)
+///     .with_morsel_bounds(4_096, 262_144);
+/// assert_eq!(cfg.total_dop, 8);
+/// assert!(cfg.elastic_dop && cfg.adaptive_morsels);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Control interval of the background thread. Shorter ticks react
+    /// faster but poll the registry more often; the default (1 ms) is far
+    /// below any query worth governing.
+    pub tick: Duration,
+    /// Pool capacity the DOP lever distributes among governed queries;
+    /// `0` = the engine's worker count.
+    pub total_dop: usize,
+    /// Enables the elastic-DOP lever (mid-flight re-grants / claw-backs).
+    pub elastic_dop: bool,
+    /// Enables the adaptive morsel-size lever.
+    pub adaptive_morsels: bool,
+    /// Lower clamp of adaptive morsel sizes, in rows.
+    pub min_morsel_rows: usize,
+    /// Upper clamp of adaptive morsel sizes, in rows.
+    pub max_morsel_rows: usize,
+    /// Wait-share high watermark: above it the morsel size doubles
+    /// (scheduling overhead dominates).
+    pub widen_wait_share: f64,
+    /// Wait-share low watermark: below it — and only with idle pool
+    /// capacity — the morsel size halves (workers starve between morsels).
+    /// Must be below [`ControllerConfig::widen_wait_share`]; the gap is the
+    /// dead band that prevents oscillation.
+    pub narrow_wait_share: f64,
+    /// Minimum new signal (queue wait + busy, microseconds) a tick must
+    /// observe for a query before acting on its morsel size. Ticks below
+    /// the floor leave the query untouched and keep the signal window open.
+    pub min_signal_us: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            tick: Duration::from_millis(1),
+            total_dop: 0,
+            elastic_dop: true,
+            adaptive_morsels: true,
+            min_morsel_rows: 1_024,
+            max_morsel_rows: 1 << 20,
+            widen_wait_share: 0.5,
+            narrow_wait_share: 0.1,
+            min_signal_us: 200,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Sets the control interval (builder style).
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the pool capacity the DOP lever distributes (builder style);
+    /// `0` = the engine's worker count.
+    pub fn with_total_dop(mut self, total_dop: usize) -> Self {
+        self.total_dop = total_dop;
+        self
+    }
+
+    /// Enables/disables the elastic-DOP lever (builder style).
+    pub fn with_elastic_dop(mut self, enabled: bool) -> Self {
+        self.elastic_dop = enabled;
+        self
+    }
+
+    /// Enables/disables the adaptive morsel-size lever (builder style).
+    pub fn with_adaptive_morsels(mut self, enabled: bool) -> Self {
+        self.adaptive_morsels = enabled;
+        self
+    }
+
+    /// Sets the adaptive morsel-size clamps, in rows (builder style).
+    /// Values are ordered and clamped to at least 1.
+    pub fn with_morsel_bounds(mut self, min_rows: usize, max_rows: usize) -> Self {
+        let lo = min_rows.max(1);
+        let hi = max_rows.max(1);
+        self.min_morsel_rows = lo.min(hi);
+        self.max_morsel_rows = lo.max(hi);
+        self
+    }
+}
+
+/// What one control round did (diagnostics; returned by
+/// [`crate::Engine::controller_tick`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Queries whose admitted DOP was changed this tick (re-grants and
+    /// claw-backs).
+    pub dop_changes: usize,
+    /// Queries whose morsel size was changed this tick.
+    pub morsel_changes: usize,
+    /// Governed queries observed (nonzero admitted-DOP cap).
+    pub governed: usize,
+}
+
+impl TickReport {
+    /// Total lever actions taken this tick.
+    pub fn actions(&self) -> usize {
+        self.dop_changes + self.morsel_changes
+    }
+}
+
+/// Per-query cumulative-signal snapshot from the previous tick, so each
+/// tick works on the interval's delta.
+#[derive(Debug, Default, Clone, Copy)]
+struct SignalWindow {
+    queue_wait_us: u64,
+    busy_us: u64,
+}
+
+/// The controller state shared between the engine (synchronous ticks) and
+/// the background control thread.
+pub(crate) struct ResourceController {
+    config: ControllerConfig,
+    n_workers: usize,
+    default_morsel_rows: usize,
+    /// Last-seen cumulative signals per query id (the per-interval delta
+    /// baseline); entries of finished queries are retired each tick.
+    windows: Mutex<HashMap<u64, SignalWindow>>,
+}
+
+impl ResourceController {
+    pub(crate) fn new(
+        config: ControllerConfig,
+        n_workers: usize,
+        default_morsel_rows: usize,
+    ) -> Self {
+        ResourceController {
+            config,
+            n_workers: n_workers.max(1),
+            default_morsel_rows: default_morsel_rows.max(1),
+            windows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// One control round over the currently active queries. `pending_tasks`
+    /// is the scheduler's momentary backlog (pool pressure).
+    pub(crate) fn tick(&self, active: &[Arc<QueryHandle>], pending_tasks: usize) -> TickReport {
+        let mut governed = 0;
+        let dop_changes = if self.config.elastic_dop {
+            self.rebalance_dop(active, &mut governed)
+        } else {
+            governed = active.iter().filter(|h| h.admitted_dop() > 0 && !h.is_cancelled()).count();
+            0
+        };
+        let morsel_changes = if self.config.adaptive_morsels {
+            self.adapt_morsels(active, pending_tasks)
+        } else {
+            0
+        };
+        TickReport { dop_changes, morsel_changes, governed }
+    }
+
+    /// Lever 1: equal-share elastic DOP. Governed queries (nonzero cap,
+    /// not cancelled) each get `max(1, total / n_governed)`; writes only on
+    /// change, so an unchanged population produces no timeline noise.
+    fn rebalance_dop(&self, active: &[Arc<QueryHandle>], governed_out: &mut usize) -> usize {
+        let governed: Vec<&Arc<QueryHandle>> =
+            active.iter().filter(|h| h.admitted_dop() > 0 && !h.is_cancelled()).collect();
+        *governed_out = governed.len();
+        if governed.is_empty() {
+            return 0;
+        }
+        let total = if self.config.total_dop == 0 { self.n_workers } else { self.config.total_dop };
+        let target = (total / governed.len()).max(1);
+        let mut changes = 0;
+        for handle in governed {
+            if handle.admitted_dop() != target {
+                handle.set_admitted_dop(target);
+                changes += 1;
+            }
+        }
+        changes
+    }
+
+    /// Lever 2: per-query morsel sizing from the interval's wait share.
+    fn adapt_morsels(&self, active: &[Arc<QueryHandle>], pending_tasks: usize) -> usize {
+        let mut windows = self.windows.lock();
+        let mut changes = 0;
+        for handle in active {
+            let signals = handle.signals();
+            let window = windows.entry(handle.id()).or_default();
+            let wait = signals.queue_wait_us.saturating_sub(window.queue_wait_us);
+            let busy = signals.busy_us.saturating_sub(window.busy_us);
+            if wait + busy < self.config.min_signal_us {
+                // Not enough new evidence this interval; keep the window
+                // open so the signal accumulates across ticks.
+                continue;
+            }
+            window.queue_wait_us = signals.queue_wait_us;
+            window.busy_us = signals.busy_us;
+
+            let share = wait as f64 / (wait + busy) as f64;
+            let current = handle.morsel_rows_hint().unwrap_or(self.default_morsel_rows);
+            let next = if share >= self.config.widen_wait_share {
+                (current.saturating_mul(2)).min(self.config.max_morsel_rows)
+            } else if share <= self.config.narrow_wait_share && pending_tasks < self.n_workers {
+                (current / 2).max(self.config.min_morsel_rows)
+            } else {
+                current
+            };
+            if next != current {
+                handle.set_morsel_rows(next);
+                changes += 1;
+            }
+        }
+        // Retire windows of queries no longer in flight.
+        if windows.len() > active.len() {
+            let live: Vec<u64> = active.iter().map(|h| h.id()).collect();
+            windows.retain(|id, _| live.contains(id));
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(id: u64, dop: usize) -> Arc<QueryHandle> {
+        Arc::new(QueryHandle::new(id, 0, dop))
+    }
+
+    fn controller(config: ControllerConfig) -> ResourceController {
+        ResourceController::new(config, 4, 8_192)
+    }
+
+    #[test]
+    fn equal_share_regrants_when_peers_leave_and_claws_back_when_they_return() {
+        let ctrl = controller(ControllerConfig::default().with_adaptive_morsels(false));
+        let a = handle(1, 1);
+        let b = handle(2, 1);
+        let c = handle(3, 1);
+        let d = handle(4, 1);
+
+        // Four governed queries on a 4-wide pool: everyone holds share 1.
+        let report = ctrl.tick(&[a.clone(), b.clone(), c.clone(), d.clone()], 0);
+        assert_eq!(report.governed, 4);
+        assert_eq!(report.dop_changes, 0, "equal shares already held");
+
+        // Half the clients finish: survivors are re-granted to share 2.
+        let report = ctrl.tick(&[a.clone(), b.clone()], 0);
+        assert_eq!(report.dop_changes, 2);
+        assert_eq!(a.admitted_dop(), 2);
+        assert_eq!(b.admitted_dop(), 2);
+
+        // The last survivor gets the whole pool.
+        let report = ctrl.tick(std::slice::from_ref(&a), 0);
+        assert_eq!(report.dop_changes, 1);
+        assert_eq!(a.admitted_dop(), 4);
+        // Idempotent: a second tick over the same population writes nothing.
+        assert_eq!(ctrl.tick(std::slice::from_ref(&a), 0).actions(), 0);
+        assert_eq!(a.dop_timeline().len(), 3, "admit + two re-grants");
+
+        // Three new clients arrive: the incumbent is clawed back to 1.
+        let e = handle(5, 1);
+        let f = handle(6, 1);
+        let g = handle(7, 1);
+        ctrl.tick(&[a.clone(), e, f, g], 0);
+        assert_eq!(a.admitted_dop(), 1);
+    }
+
+    #[test]
+    fn uncapped_and_cancelled_queries_are_not_governed() {
+        let ctrl = controller(ControllerConfig::default().with_adaptive_morsels(false));
+        let unlimited = handle(1, 0);
+        let cancelled = handle(2, 2);
+        cancelled.cancel();
+        let governed = handle(3, 1);
+        let report = ctrl.tick(&[unlimited.clone(), cancelled.clone(), governed.clone()], 0);
+        assert_eq!(report.governed, 1);
+        assert_eq!(unlimited.admitted_dop(), 0, "unlimited queries stay unlimited");
+        assert_eq!(cancelled.admitted_dop(), 2, "cancelled queries are left alone");
+        assert_eq!(governed.admitted_dop(), 4, "the sole governed query gets the pool");
+    }
+
+    #[test]
+    fn high_wait_share_widens_morsels_up_to_the_clamp() {
+        let ctrl = controller(
+            ControllerConfig::default().with_elastic_dop(false).with_morsel_bounds(1_024, 16_384),
+        );
+        let h = handle(1, 0);
+        h.set_morsel_rows(8_192);
+        // Simulate an interval dominated by queue wait.
+        h.test_add_signals(10_000, 100);
+        let report = ctrl.tick(std::slice::from_ref(&h), 99);
+        assert_eq!(report.morsel_changes, 1);
+        assert_eq!(h.morsel_rows_hint(), Some(16_384));
+        // Already at the clamp: no further widening even under pure wait.
+        h.test_add_signals(10_000, 100);
+        assert_eq!(ctrl.tick(std::slice::from_ref(&h), 99).morsel_changes, 0);
+        assert_eq!(h.morsel_rows_hint(), Some(16_384));
+    }
+
+    #[test]
+    fn low_wait_share_narrows_only_with_idle_capacity() {
+        let ctrl = controller(
+            ControllerConfig::default().with_elastic_dop(false).with_morsel_bounds(1_024, 65_536),
+        );
+        let h = handle(1, 0);
+        h.set_morsel_rows(8_192);
+        // Busy-dominated interval, but the pool is saturated (pending ≥
+        // workers): narrowing would add tasks to an already-full queue.
+        h.test_add_signals(10, 10_000);
+        assert_eq!(ctrl.tick(std::slice::from_ref(&h), 4).morsel_changes, 0);
+        // Same signal with idle capacity: narrow.
+        h.test_add_signals(10, 10_000);
+        let report = ctrl.tick(std::slice::from_ref(&h), 0);
+        assert_eq!(report.morsel_changes, 1);
+        assert_eq!(h.morsel_rows_hint(), Some(4_096));
+    }
+
+    #[test]
+    fn dead_band_and_signal_floor_hold_the_size() {
+        let ctrl = controller(ControllerConfig::default().with_elastic_dop(false));
+        let h = handle(1, 0);
+        // No override yet: the engine default seeds the trajectory.
+        // Mid-band share (between the watermarks): no action.
+        h.test_add_signals(3_000, 7_000); // share 0.3
+        assert_eq!(ctrl.tick(std::slice::from_ref(&h), 0).morsel_changes, 0);
+        assert_eq!(h.morsel_rows_hint(), None, "dead band must not touch the size");
+        // Below the signal floor: no action, window stays open.
+        h.test_add_signals(50, 50);
+        assert_eq!(ctrl.tick(std::slice::from_ref(&h), 0).morsel_changes, 0);
+        // The accumulated signal (100 + 100 over two ticks ≥ floor of 200)
+        // eventually crosses the floor and acts on the combined interval.
+        h.test_add_signals(5_000, 50);
+        let report = ctrl.tick(std::slice::from_ref(&h), 99);
+        assert_eq!(report.morsel_changes, 1, "accumulated wait-heavy signal must widen");
+    }
+
+    #[test]
+    fn windows_are_retired_with_their_queries() {
+        let ctrl = controller(ControllerConfig::default().with_elastic_dop(false));
+        let a = handle(1, 0);
+        let b = handle(2, 0);
+        a.test_add_signals(1_000, 1_000);
+        b.test_add_signals(1_000, 1_000);
+        ctrl.tick(&[a.clone(), b], 0);
+        assert_eq!(ctrl.windows.lock().len(), 2);
+        ctrl.tick(&[a], 0);
+        assert_eq!(ctrl.windows.lock().len(), 1, "finished query's window must retire");
+    }
+
+    #[test]
+    fn disabled_levers_take_no_action() {
+        let ctrl = controller(
+            ControllerConfig::default().with_elastic_dop(false).with_adaptive_morsels(false),
+        );
+        let h = handle(1, 1);
+        h.test_add_signals(10_000, 0);
+        let report = ctrl.tick(std::slice::from_ref(&h), 0);
+        assert_eq!(report.actions(), 0);
+        assert_eq!(report.governed, 1, "governed count is still reported");
+        assert_eq!(h.admitted_dop(), 1);
+        assert_eq!(h.morsel_rows_hint(), None);
+    }
+
+    #[test]
+    fn config_builders_clamp_and_order_bounds() {
+        let cfg = ControllerConfig::default()
+            .with_tick(Duration::from_micros(500))
+            .with_total_dop(16)
+            .with_morsel_bounds(0, 0);
+        assert_eq!(cfg.tick, Duration::from_micros(500));
+        assert_eq!(cfg.total_dop, 16);
+        assert_eq!(cfg.min_morsel_rows, 1);
+        assert_eq!(cfg.max_morsel_rows, 1);
+        let wide = ControllerConfig::default().with_morsel_bounds(4_096, 1_024);
+        assert_eq!(wide.min_morsel_rows, 1_024, "inverted bounds are reordered");
+        assert_eq!(wide.max_morsel_rows, 4_096, "inverted bounds are reordered");
+    }
+}

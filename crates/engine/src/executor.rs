@@ -20,6 +20,7 @@
 //! times are recorded in the profile so downstream consumers can tell
 //! operator cost from scheduler interference.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -31,6 +32,7 @@ use apq_columnar::partition::RowRange;
 use apq_columnar::Catalog;
 
 use crate::chunk::{Chunk, QueryOutput};
+use crate::controller::{ControllerConfig, ResourceController, TickReport};
 use crate::error::{EngineError, Result};
 use crate::interpreter::{exchange_union, execute_node, slice_part};
 use crate::noise::{NoiseConfig, NoiseInjector};
@@ -63,8 +65,15 @@ pub struct EngineConfig {
     /// byte-identical either way.
     pub execution_mode: ExecutionMode,
     /// Morsel size in rows for [`ExecutionMode::MorselDriven`]
-    /// (default [`DEFAULT_MORSEL_ROWS`]). Ignored in operator-at-a-time mode.
+    /// (default [`DEFAULT_MORSEL_ROWS`]). Ignored in operator-at-a-time
+    /// mode. Under the elastic controller this is the *starting* size; the
+    /// controller may override it per query within its configured bounds.
     pub morsel_rows: usize,
+    /// Elastic resource controller ([`crate::controller`]): mid-flight DOP
+    /// re-grants and adaptive morsel sizing driven by live scheduler
+    /// signals. `None` (default) disables the subsystem — admitted DOP and
+    /// morsel size then stay exactly as submitted.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +85,7 @@ impl Default for EngineConfig {
             scheduler: SchedulerPolicy::default(),
             execution_mode: ExecutionMode::default(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            controller: None,
         }
     }
 }
@@ -102,6 +112,13 @@ impl EngineConfig {
     /// style). Values are clamped to at least 1 at use sites.
     pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
         self.morsel_rows = morsel_rows;
+        self
+    }
+
+    /// Enables the elastic resource controller (builder style); see
+    /// [`crate::controller`] for the feedback-loop specification.
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = Some(controller);
         self
     }
 }
@@ -146,6 +163,15 @@ pub struct Engine {
     next_query_id: AtomicU64,
     /// Queries currently inside `execute_with_handle` (all clients).
     in_flight: AtomicUsize,
+    /// Handles of the queries currently executing, keyed by query id — the
+    /// registry the controller's ticks (and [`Engine::active_queries`])
+    /// snapshot.
+    registry: Arc<Mutex<HashMap<u64, Arc<QueryHandle>>>>,
+    /// Elastic resource controller; `None` when disabled.
+    controller: Option<Arc<ResourceController>>,
+    /// Stop flag + wakeup for the background control thread.
+    controller_stop: Arc<(Mutex<bool>, Condvar)>,
+    controller_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -174,6 +200,37 @@ impl Engine {
             );
         }
         let noise = config.noise.clone().map(|c| Arc::new(NoiseInjector::new(c)));
+        let registry: Arc<Mutex<HashMap<u64, Arc<QueryHandle>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let controller = config
+            .controller
+            .clone()
+            .map(|cfg| Arc::new(ResourceController::new(cfg, n_workers, config.morsel_rows)));
+        let controller_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let controller_thread = controller.as_ref().map(|ctrl| {
+            let ctrl = Arc::clone(ctrl);
+            let registry = Arc::clone(&registry);
+            let sched = Arc::clone(&scheduler);
+            let stop = Arc::clone(&controller_stop);
+            std::thread::Builder::new()
+                .name("apq-controller".to_string())
+                .spawn(move || loop {
+                    {
+                        let (lock, cv) = &*stop;
+                        let mut stopped = lock.lock();
+                        if *stopped {
+                            return;
+                        }
+                        cv.wait_for(&mut stopped, ctrl.config().tick);
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    let active: Vec<Arc<QueryHandle>> = registry.lock().values().cloned().collect();
+                    ctrl.tick(&active, sched.pending_tasks());
+                })
+                .expect("failed to spawn controller thread")
+        });
         Engine {
             config,
             scheduler,
@@ -181,6 +238,10 @@ impl Engine {
             noise,
             next_query_id: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
+            registry,
+            controller,
+            controller_stop,
+            controller_thread,
         }
     }
 
@@ -208,6 +269,35 @@ impl Engine {
     /// Number of queries currently executing on this engine (all clients).
     pub fn in_flight_queries(&self) -> usize {
         self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Handles of the queries currently executing (all clients), in no
+    /// particular order — the live population the controller governs.
+    pub fn active_queries(&self) -> Vec<Arc<QueryHandle>> {
+        self.registry.lock().values().cloned().collect()
+    }
+
+    /// Number of submitted tasks not yet dispatched by the scheduler (pool
+    /// pressure; approximate while workers drain concurrently).
+    pub fn pending_tasks(&self) -> usize {
+        self.scheduler.pending_tasks()
+    }
+
+    /// Runs one synchronous control round of the elastic resource
+    /// controller over the currently active queries, returning what it did.
+    /// A no-op returning an empty report when the controller is disabled.
+    ///
+    /// The background control thread ticks on its own
+    /// ([`ControllerConfig::tick`]); this entry point exists so tests,
+    /// examples and operators can force a deterministic round.
+    pub fn controller_tick(&self) -> TickReport {
+        match &self.controller {
+            Some(ctrl) => {
+                let active = self.active_queries();
+                ctrl.tick(&active, self.scheduler.pending_tasks())
+            }
+            None => TickReport::default(),
+        }
     }
 
     /// Registers a query with the scheduler, returning its handle. The handle
@@ -304,6 +394,22 @@ impl Engine {
         }
         let _in_flight = InFlightGuard(&self.in_flight);
 
+        // Publish the handle in the live-query registry for the duration of
+        // the execution, so controller ticks see it. The guard keeps the
+        // registry consistent on every exit path; a re-grant racing query
+        // completion at worst writes to a handle nobody reads anymore.
+        self.registry.lock().insert(handle.id(), Arc::clone(&handle));
+        struct RegistryGuard<'a> {
+            registry: &'a Mutex<HashMap<u64, Arc<QueryHandle>>>,
+            id: u64,
+        }
+        impl Drop for RegistryGuard<'_> {
+            fn drop(&mut self) {
+                self.registry.lock().remove(&self.id);
+            }
+        }
+        let _registered = RegistryGuard { registry: &self.registry, id: handle.id() };
+
         if self.config.execution_mode == ExecutionMode::MorselDriven {
             return self.execute_morsel_driven(plan, catalog, handle, concurrent_peers);
         }
@@ -372,6 +478,7 @@ impl Engine {
             concurrent_peers,
             operators,
             pipelines: Vec::new(),
+            dop_timeline: state.handle.dop_timeline(),
         };
         Ok(QueryExecution { output: root_chunk.to_output(), profile })
     }
@@ -449,6 +556,7 @@ impl Engine {
             concurrent_peers,
             operators,
             pipelines,
+            dop_timeline: state.handle.dop_timeline(),
         };
         Ok(QueryExecution { output: root_chunk.to_output(), profile })
     }
@@ -456,6 +564,16 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
+        // Stop the control loop first so no tick runs against a draining
+        // scheduler.
+        if let Some(thread) = self.controller_thread.take() {
+            {
+                let (lock, cv) = &*self.controller_stop;
+                *lock.lock() = true;
+                cv.notify_all();
+            }
+            let _ = thread.join();
+        }
         // Shutting the scheduler down lets the workers drain remaining tasks
         // and exit.
         self.scheduler.shutdown();
@@ -673,6 +791,8 @@ struct MorselState {
     started: Instant,
     noise: Option<Arc<NoiseInjector>>,
     overhead_us: u64,
+    /// Engine-default morsel size; each pipeline launch may override it
+    /// with the query's live hint (see [`FusedRun::morsel_rows`]).
     morsel_rows: usize,
     n_workers: usize,
     fused: PipelinePlan,
@@ -700,6 +820,11 @@ impl MorselState {
 /// Per-pipeline morsel bookkeeping, created when the pipeline is launched
 /// (its fan-out depends on the actual source size).
 struct FusedRun {
+    /// Morsel size resolved at launch: the query's live override
+    /// ([`QueryHandle::morsel_rows_hint`], written by the adaptive
+    /// controller) or the engine default. Fixed for the pipeline's lifetime
+    /// so slicing and fan-out agree.
+    morsel_rows: usize,
     n_morsels: usize,
     /// Rows of the pipeline's input (effective scan range or source chunk).
     source_rows: usize,
@@ -784,10 +909,15 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                     (chunk.rows(), 0, sliceable)
                 }
             };
-            let n_morsels =
-                if sliceable { morsel_count(source_rows, state.morsel_rows) } else { 1 };
+            // Morsel size is resolved per pipeline launch: the adaptive
+            // controller may have overridden the query's size since the
+            // last pipeline started. Within one pipeline the size is fixed
+            // (slice offsets and fan-out must agree).
+            let morsel_rows = state.handle.morsel_rows_hint().unwrap_or(state.morsel_rows).max(1);
+            let n_morsels = if sliceable { morsel_count(source_rows, morsel_rows) } else { 1 };
             let n_members = pipeline.member_nodes().len();
             let run = Arc::new(FusedRun {
+                morsel_rows,
                 n_morsels,
                 source_rows,
                 scan_start,
@@ -859,7 +989,7 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
     let run = Arc::clone(
         state.fused_runs[step].get().expect("morsel dispatched before its step was launched"),
     );
-    let morsel_rows = state.morsel_rows;
+    let morsel_rows = run.morsel_rows;
 
     // The morsel's slice of the pipeline source. Stream slices go through
     // `slice_part`, which preserves the `stream_base` alignment invariant
@@ -1025,7 +1155,7 @@ fn assemble_pipeline(
         step,
         nodes: members,
         n_morsels: run.n_morsels,
-        morsel_rows: state.morsel_rows,
+        morsel_rows: run.morsel_rows,
         source_rows: run.source_rows,
         queue_wait_us: run.queue_wait_us.load(Ordering::Relaxed),
         morsels_by_worker: run

@@ -17,7 +17,12 @@
 //!   selectable via [`EngineConfig::execution_mode`];
 //! * [`scheduler`] — pluggable task-scheduling policies (shared FIFO vs.
 //!   work-stealing deques), per-query scheduling state ([`QueryHandle`]:
-//!   priority, admitted DOP, cancellation) and per-worker dispatch counters;
+//!   priority, admitted DOP, cancellation, live dispatch signals) and
+//!   per-worker dispatch counters;
+//! * [`controller`] — the elastic resource controller: a feedback loop over
+//!   the live signals that re-grants/claws back admitted DOP as clients
+//!   come and go and adapts the per-query morsel size
+//!   ([`EngineConfig::controller`]);
 //! * [`profiler`] — per-operator execution feedback (time, worker, memory
 //!   claim) and query-level multi-core-utilization metrics;
 //! * [`noise`] — reproducible synthetic OS-noise injection for the
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+pub mod controller;
 pub mod error;
 pub mod executor;
 pub mod interpreter;
@@ -36,10 +42,11 @@ pub mod profiler;
 pub mod scheduler;
 
 pub use chunk::{Chunk, QueryOutput};
+pub use controller::{ControllerConfig, TickReport};
 pub use error::{EngineError, Result};
 pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions};
 pub use noise::{NoiseConfig, NoiseInjector};
 pub use pipeline::{ExecutionMode, DEFAULT_MORSEL_ROWS};
 pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};
-pub use profiler::{OperatorProfile, PipelineProfile, QueryProfile};
-pub use scheduler::{QueryHandle, SchedulerPolicy, SchedulerStats, WorkerStats};
+pub use profiler::{DopEvent, OperatorProfile, PipelineProfile, QueryProfile};
+pub use scheduler::{QueryHandle, QuerySignals, SchedulerPolicy, SchedulerStats, WorkerStats};

@@ -43,6 +43,20 @@ pub struct OperatorProfile {
     pub bytes_out: usize,
 }
 
+/// One point of a query's admitted-DOP timeline: the degree of parallelism
+/// granted at a moment of the query's life. The first event (offset 0) is
+/// the admit-time grant; later events are mid-flight re-grants/claw-backs
+/// via [`crate::QueryHandle::set_admitted_dop`] — made by the client or by
+/// the elastic resource controller ([`crate::controller`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DopEvent {
+    /// Microseconds since the query handle was created.
+    pub at_us: u64,
+    /// The admitted degree of parallelism from this point on (`0` =
+    /// unlimited).
+    pub dop: usize,
+}
+
 /// Profile of one fused pipeline executed in morsel-driven mode
 /// ([`crate::pipeline`]): how the pipeline's input was cut into morsels and
 /// which workers pulled them.
@@ -56,7 +70,11 @@ pub struct PipelineProfile {
     /// Number of morsels the source was cut into (≥ 1; empty inputs still
     /// run one morsel).
     pub n_morsels: usize,
-    /// Configured morsel size, in rows ([`crate::EngineConfig::morsel_rows`]).
+    /// Morsel size used for *this* pipeline launch, in rows. With a static
+    /// configuration this equals [`crate::EngineConfig::morsel_rows`]; under
+    /// adaptive sizing ([`crate::controller`]) it is whatever the per-query
+    /// override held when the pipeline launched, so sizes may differ across
+    /// pipelines of one query.
     pub morsel_rows: usize,
     /// Rows of the pipeline's source (effective scan range or input chunk).
     pub source_rows: usize,
@@ -82,6 +100,12 @@ pub struct QueryProfile {
     pub operators: Vec<OperatorProfile>,
     /// Per-pipeline morsel statistics; empty in operator-at-a-time mode.
     pub pipelines: Vec<PipelineProfile>,
+    /// Admitted-DOP history of the query: the admit-time grant plus every
+    /// mid-flight re-grant/claw-back, in order (never empty for executed
+    /// queries). A strictly increasing `dop` after the first entry is the
+    /// signature of elastic re-granting (peers left, the controller widened
+    /// the query's share).
+    pub dop_timeline: Vec<DopEvent>,
 }
 
 impl QueryProfile {
@@ -158,6 +182,27 @@ impl QueryProfile {
             }
         }
         out
+    }
+
+    /// Morsel sizes chosen across the query's pipeline launches, in launch
+    /// order (one entry per pipeline; empty in operator-at-a-time mode).
+    /// Under static configuration every entry is the same; under adaptive
+    /// sizing the sequence shows the controller's trajectory.
+    pub fn morsel_sizes(&self) -> Vec<usize> {
+        self.pipelines.iter().map(|p| p.morsel_rows).collect()
+    }
+
+    /// True when the admitted DOP was raised after the admit-time grant —
+    /// i.e. the query received a mid-flight elastic re-grant. A later grant
+    /// of `0` (unlimited) counts as a raise; a query *admitted* unlimited
+    /// has nothing to re-grant and always returns `false`.
+    pub fn dop_was_regranted(&self) -> bool {
+        match self.dop_timeline.first() {
+            Some(initial) if initial.dop > 0 => {
+                self.dop_timeline.iter().skip(1).any(|e| e.dop == 0 || e.dop > initial.dop)
+            }
+            _ => false,
+        }
     }
 
     /// Profile of a specific plan node.
@@ -299,6 +344,7 @@ mod tests {
                 op(4, "aggregate", 650, 200, 0),
             ],
             pipelines: vec![],
+            dop_timeline: vec![DopEvent { at_us: 0, dop: 2 }],
         }
     }
 
@@ -381,6 +427,28 @@ mod tests {
         ];
         assert_eq!(p.total_morsels(), 5);
         assert_eq!(p.morsels_by_worker(), vec![2, 2, 1, 0]);
+        assert_eq!(p.morsel_sizes(), vec![1024, 1024]);
+    }
+
+    #[test]
+    fn dop_timeline_regrant_detection() {
+        let mut p = sample();
+        // Initial grant only: no re-grant.
+        assert!(!p.dop_was_regranted());
+        // Claw-back below the initial grant: still no re-grant.
+        p.dop_timeline.push(DopEvent { at_us: 10, dop: 1 });
+        assert!(!p.dop_was_regranted());
+        // A raise above the admit-time grant is a re-grant.
+        p.dop_timeline.push(DopEvent { at_us: 20, dop: 4 });
+        assert!(p.dop_was_regranted());
+        // A later grant of "unlimited" also counts.
+        let mut q = sample();
+        q.dop_timeline.push(DopEvent { at_us: 5, dop: 0 });
+        assert!(q.dop_was_regranted());
+        // Queries admitted unlimited have nothing to re-grant.
+        let mut r = sample();
+        r.dop_timeline = vec![DopEvent { at_us: 0, dop: 0 }, DopEvent { at_us: 9, dop: 8 }];
+        assert!(!r.dop_was_regranted());
     }
 
     #[test]
@@ -391,6 +459,7 @@ mod tests {
             concurrent_peers: 0,
             operators: vec![],
             pipelines: vec![],
+            dop_timeline: vec![],
         };
         assert_eq!(p.total_cpu_us(), 0);
         assert_eq!(p.workers_used(), 0);

@@ -147,6 +147,10 @@ impl Scheduler for GlobalQueue {
             workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
         }
     }
+
+    fn pending_tasks(&self) -> usize {
+        self.normal_rx.len() + self.high_rx.len()
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
+use crate::profiler::DopEvent;
+
 /// Which scheduling policy an engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
@@ -71,6 +75,20 @@ impl SchedulerPolicy {
     }
 }
 
+/// Live per-query execution signals accumulated by task dispatch, readable
+/// while the query is still running — the controller's input
+/// ([`crate::controller`]). All values are cumulative since the handle was
+/// created; consumers diff successive snapshots to get per-interval rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuerySignals {
+    /// Total time the query's dispatched tasks spent queued, microseconds.
+    pub queue_wait_us: u64,
+    /// Total time the query's dispatched tasks spent executing, microseconds.
+    pub busy_us: u64,
+    /// Number of tasks dispatched so far.
+    pub dispatched: u64,
+}
+
 /// Per-query scheduling state, shared between the submitting client, the
 /// scheduler and every task of the query.
 #[derive(Debug)]
@@ -80,6 +98,16 @@ pub struct QueryHandle {
     admitted_dop: AtomicUsize,
     cancelled: AtomicBool,
     running: AtomicUsize,
+    /// Epoch for [`DopEvent::at_us`] offsets (handle creation time).
+    created: Instant,
+    /// Admitted-DOP change history: the initial grant plus every
+    /// [`QueryHandle::set_admitted_dop`] call, in order.
+    dop_events: Mutex<Vec<DopEvent>>,
+    /// Per-query morsel-size override (rows); `0` = engine default.
+    morsel_rows: AtomicUsize,
+    queue_wait_us: AtomicU64,
+    busy_us: AtomicU64,
+    dispatched: AtomicU64,
 }
 
 impl QueryHandle {
@@ -91,6 +119,12 @@ impl QueryHandle {
             admitted_dop: AtomicUsize::new(admitted_dop),
             cancelled: AtomicBool::new(false),
             running: AtomicUsize::new(0),
+            created: Instant::now(),
+            dop_events: Mutex::new(vec![DopEvent { at_us: 0, dop: admitted_dop }]),
+            morsel_rows: AtomicUsize::new(0),
+            queue_wait_us: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
         }
     }
 
@@ -114,9 +148,79 @@ impl QueryHandle {
     }
 
     /// Re-grants the admitted degree of parallelism mid-flight (e.g. when
-    /// another client leaves and resources free up).
+    /// another client leaves and resources free up, or claws back headroom
+    /// when new clients are admitted). Takes effect at the *next* slot
+    /// acquisition: dispatch re-reads the cap for every task, so a raise is
+    /// picked up by already-queued tasks and a claw-back below the number of
+    /// currently running tasks simply stops granting new slots until the
+    /// running tasks drain — nothing is pre-empted.
+    ///
+    /// Every call is recorded in the handle's DOP timeline, which the
+    /// executor publishes as [`crate::profiler::QueryProfile::dop_timeline`].
+    ///
+    /// ```
+    /// use apq_engine::{Engine, QueryOptions};
+    ///
+    /// let engine = Engine::with_workers(2);
+    /// let handle = engine.register_query(QueryOptions::with_admitted_dop(1));
+    /// assert_eq!(handle.admitted_dop(), 1);
+    /// // A resource controller (or the client) re-grants mid-flight:
+    /// handle.set_admitted_dop(4);
+    /// assert_eq!(handle.admitted_dop(), 4);
+    /// let timeline = handle.dop_timeline();
+    /// assert_eq!(timeline.len(), 2); // initial grant + the re-grant
+    /// assert_eq!(timeline[0].dop, 1);
+    /// assert_eq!(timeline[1].dop, 4);
+    /// ```
     pub fn set_admitted_dop(&self, dop: usize) {
+        // Store and timeline append happen under one lock so concurrent
+        // setters (controller thread vs. client) cannot leave the recorded
+        // timeline ending on a different value than the live cap.
+        let mut events = self.dop_events.lock();
         self.admitted_dop.store(dop, Ordering::Release);
+        events.push(DopEvent { at_us: self.created.elapsed().as_micros() as u64, dop });
+    }
+
+    /// The admitted-DOP change history: the initial grant (at offset 0) plus
+    /// one entry per [`QueryHandle::set_admitted_dop`] call, in call order.
+    pub fn dop_timeline(&self) -> Vec<DopEvent> {
+        self.dop_events.lock().clone()
+    }
+
+    /// Sets the per-query morsel-size override, in rows (`0` clears it back
+    /// to the engine default). Morsel-driven execution re-reads this at every
+    /// pipeline launch, so a running query's later pipelines pick the new
+    /// size up; morsels of an already-launched pipeline keep theirs (the
+    /// fan-out is fixed at launch).
+    pub fn set_morsel_rows(&self, rows: usize) {
+        self.morsel_rows.store(rows, Ordering::Release);
+    }
+
+    /// The current per-query morsel-size override; `None` = engine default.
+    pub fn morsel_rows_hint(&self) -> Option<usize> {
+        match self.morsel_rows.load(Ordering::Acquire) {
+            0 => None,
+            rows => Some(rows),
+        }
+    }
+
+    /// Test-only: injects synthetic cumulative signals, so controller ticks
+    /// can be driven without real executions.
+    #[cfg(test)]
+    pub(crate) fn test_add_signals(&self, queue_wait_us: u64, busy_us: u64) {
+        self.queue_wait_us.fetch_add(queue_wait_us, Ordering::Relaxed);
+        self.busy_us.fetch_add(busy_us, Ordering::Relaxed);
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the query's cumulative dispatch signals (queue wait, busy
+    /// time, task count) — readable mid-flight, the controller's input.
+    pub fn signals(&self) -> QuerySignals {
+        QuerySignals {
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            busy_us: self.busy_us.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+        }
     }
 
     /// Requests cancellation: tasks already running finish, queued tasks of
@@ -243,7 +347,14 @@ impl Task {
         submitter: &dyn SubmitTask,
     ) {
         let ctx = TaskContext { worker, queue_wait, origin, submitter };
+        let started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)(&ctx)));
+        // Accumulate the query's live signals (controller input) before the
+        // slot is released, so a controller tick never sees a task counted
+        // as neither running nor accounted.
+        self.handle.queue_wait_us.fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+        self.handle.busy_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.handle.dispatched.fetch_add(1, Ordering::Relaxed);
         self.handle.task_finished();
         if result.is_err() {
             // Swallowed by design: the worker must survive. The query itself
@@ -282,6 +393,11 @@ pub trait Scheduler: Send + Sync {
 
     /// Snapshot of the per-worker counters.
     fn stats(&self) -> SchedulerStats;
+
+    /// Number of submitted tasks not yet dispatched — the pool-pressure
+    /// signal ([`crate::controller`] reads it every tick). Approximate by
+    /// design: queues are concurrently drained while counting.
+    fn pending_tasks(&self) -> usize;
 }
 
 /// Per-worker counters, updated by the dispatch loops.

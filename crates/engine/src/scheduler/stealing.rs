@@ -215,6 +215,14 @@ impl Scheduler for WorkStealing {
             workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
         }
     }
+
+    fn pending_tasks(&self) -> usize {
+        // Local deques are observed through their stealer halves; workers
+        // drain concurrently, so the sum is a momentary approximation.
+        self.injector.len()
+            + self.high_injector.len()
+            + self.stealers.iter().map(Stealer::len).sum::<usize>()
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@
 //!   results of cloned operators while preserving the mutation order.
 //! * [`sort`] — order-by / top-n helpers.
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod calc;
 pub mod error;

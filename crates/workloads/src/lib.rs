@@ -14,6 +14,8 @@
 //!   random queries) used by Figs. 1 and 16.
 //! * [`builder`] / [`dates`] — shared plan-construction and calendar helpers.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod concurrent;
 pub mod dates;

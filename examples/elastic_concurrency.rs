@@ -1,0 +1,143 @@
+//! Elastic concurrency: a client-churn workload in which the engine's
+//! resource controller re-grants degrees of parallelism mid-flight.
+//!
+//! Four clients hit one engine through a Vectorwise-style admission
+//! controller. Two run short queries and leave early; two run long queries
+//! and survive the churn. Every client is admitted with a fixed share of
+//! the pool (the classic one-shot scheme under which later clients stay
+//! throttled forever) — but the engine's elastic controller keeps watching
+//! `Engine::active_queries()` and, as the short clients finish, re-grants
+//! the survivors' admitted DOP up to their new equal share. The survivors'
+//! `QueryProfile::dop_timeline` prints the whole story; with morsel-driven
+//! execution the controller also adapts each query's morsel size from live
+//! queue-wait feedback (`QueryProfile::morsel_sizes`).
+//!
+//! ```text
+//! cargo run --release --example elastic_concurrency
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptive_parallelization::baselines::{heuristic_parallelize, AdmissionController};
+use adaptive_parallelization::columnar::{datagen, Catalog, TableBuilder};
+use adaptive_parallelization::engine::{
+    ControllerConfig, Engine, EngineConfig, ExecutionMode, QueryOptions, QueryProfile,
+};
+use adaptive_parallelization::operators::{AggFunc, BinaryOp, CmpOp, Predicate};
+use adaptive_parallelization::workloads::PlanBuilder;
+
+/// sum(amount * (100 - discount) / 100) over `rows` rows with region < cut.
+fn revenue_plan(
+    catalog: &Catalog,
+    table: &str,
+    cut: i64,
+) -> adaptive_parallelization::engine::Plan {
+    let mut b = PlanBuilder::new(catalog);
+    let region = b.scan(table, "region").expect("column exists");
+    let selected = b.select(region, Predicate::cmp(CmpOp::Lt, cut));
+    let amount = b.scan(table, "amount").expect("column exists");
+    let discount = b.scan(table, "discount").expect("column exists");
+    let amount_f = b.fetch(selected, amount);
+    let discount_f = b.fetch(selected, discount);
+    let one_minus = b.scalar_calc(BinaryOp::Sub, 100i64, discount_f);
+    let revenue = b.calc(BinaryOp::Mul, amount_f, one_minus);
+    let revenue = b.calc_scalar(BinaryOp::Div, revenue, 100i64);
+    let total = b.scalar_agg(AggFunc::Sum, revenue);
+    b.finish(total).expect("plan builds")
+}
+
+fn describe(label: &str, profile: &QueryProfile) {
+    let timeline: Vec<String> =
+        profile.dop_timeline.iter().map(|e| format!("{}@{}us", e.dop, e.at_us)).collect();
+    println!(
+        "  {label:<12} dop timeline [{}]{}",
+        timeline.join(" -> "),
+        if profile.dop_was_regranted() { "  << re-granted mid-flight" } else { "" },
+    );
+    if !profile.pipelines.is_empty() {
+        println!("  {:<12} morsel sizes {:?}", "", profile.morsel_sizes());
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = 4;
+
+    // One table, two row populations: "short" clients touch a small slice
+    // of the workload, "long" clients a large one.
+    let rows = 2_000_000;
+    let mut catalog = Catalog::new();
+    catalog.register(
+        TableBuilder::new("sales")
+            .i64_column("amount", datagen::prices_decimal2(rows, 1.0, 500.0, 1))
+            .i64_column("discount", datagen::uniform_i64(rows, 0, 11, 2))
+            .i64_column("region", datagen::uniform_i64(rows, 0, 25, 3))
+            .build()?,
+    );
+    let catalog = Arc::new(catalog);
+
+    // The engine runs morsel-driven with the elastic controller ticking in
+    // the background: DOP re-grants as clients leave, morsel sizes adapted
+    // from live queue-wait feedback.
+    let engine = Arc::new(Engine::new(
+        EngineConfig::with_workers(workers)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+            .with_morsel_rows(64 * 1024)
+            .with_controller(
+                ControllerConfig::default()
+                    .with_tick(Duration::from_micros(500))
+                    .with_morsel_bounds(8 * 1024, 512 * 1024),
+            ),
+    ));
+
+    // Fully parallel plans; throttling is purely the scheduler's job.
+    let short_serial = revenue_plan(&catalog, "sales", 2);
+    let long_serial = revenue_plan(&catalog, "sales", 23);
+    let short_plan = Arc::new(heuristic_parallelize(&short_serial, &catalog, workers)?);
+    let long_plan = Arc::new(heuristic_parallelize(&long_serial, &catalog, workers)?);
+
+    // Admission: every client gets a fixed entry grant from the current
+    // census; the engine controller owns the grant afterwards.
+    let admission = Arc::new(AdmissionController::new(workers));
+
+    println!("client churn on {workers} workers (2 short clients, 2 long survivors):");
+    let mut clients = Vec::new();
+    for (name, plan) in [
+        ("long-0", &long_plan),
+        ("long-1", &long_plan),
+        ("short-0", &short_plan),
+        ("short-1", &short_plan),
+    ] {
+        let engine = Arc::clone(&engine);
+        let catalog = Arc::clone(&catalog);
+        let plan = Arc::clone(plan);
+        let admission = Arc::clone(&admission);
+        clients.push(std::thread::spawn(move || {
+            let ticket = admission.admit();
+            let handle = engine.register_query(QueryOptions::with_admitted_dop(ticket.dop()));
+            let exec = engine.execute_with_handle(&plan, &catalog, handle).expect("query executes");
+            (name, ticket.dop(), exec)
+        }));
+    }
+
+    let mut results = Vec::new();
+    for client in clients {
+        results.push(client.join().expect("client thread"));
+    }
+    results.sort_by_key(|(name, ..)| *name);
+    for (name, admitted, exec) in &results {
+        println!();
+        println!("  {name}: admitted at DOP {admitted}, result {}", exec.output.summary());
+        describe(name, &exec.profile);
+    }
+
+    let regrants = results.iter().filter(|(.., e)| e.profile.dop_was_regranted()).count();
+    println!();
+    println!(
+        "{regrants} of {} queries were re-granted DOP mid-flight \
+         (expect the long survivors on a multi-core machine; short queries \
+         may finish before the controller's first tick).",
+        results.len()
+    );
+    Ok(())
+}

@@ -107,5 +107,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pipeline.nodes, pipeline.source_rows, pipeline.n_morsels, pipeline.morsels_by_worker,
         );
     }
+
+    // Where to next: `EngineConfig::with_controller` adds the elastic
+    // resource controller — mid-flight DOP re-grants as clients come and go
+    // and adaptive morsel sizing from live queue-wait feedback. See the
+    // `elastic_concurrency` example for a client-churn workload where the
+    // re-grants kick in:
+    //
+    //     cargo run --release --example elastic_concurrency
     Ok(())
 }

@@ -11,10 +11,11 @@
 //! invariant, now also load-bearing for morsel slicing).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use adaptive_parallelization::baselines::heuristic_parallelize;
 use adaptive_parallelization::engine::{
-    Engine, EngineConfig, ExecutionMode, Plan, QueryOutput, SchedulerPolicy,
+    ControllerConfig, Engine, EngineConfig, ExecutionMode, Plan, QueryOutput, SchedulerPolicy,
 };
 use adaptive_parallelization::workloads::tpcds::{self, TpcdsQuery, TpcdsScale};
 use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
@@ -91,6 +92,62 @@ fn tpcds_serial_and_heuristic_plans_match_across_modes() {
         let hp = heuristic_parallelize(&serial, &catalog, WORKERS).expect("HP rewrite");
         let hp_out = assert_modes_agree(&format!("{query} HP"), &hp, &catalog, &reference);
         assert_eq!(hp_out, expected, "{query}: HP plan diverged from serial");
+    }
+}
+
+/// A controller-enabled morsel engine whose morsel-size lever reacts on
+/// every tick with hair-trigger thresholds, so sizes really change
+/// mid-workload. The elastic-DOP lever stays off: these queries are
+/// submitted uncapped and must remain so.
+fn adaptive_engine(policy: SchedulerPolicy) -> Engine {
+    Engine::new(
+        EngineConfig::with_workers(WORKERS)
+            .with_scheduler(policy)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+            .with_morsel_rows(MORSEL_ROWS)
+            .with_controller(
+                ControllerConfig::default()
+                    .with_tick(Duration::from_micros(200))
+                    .with_elastic_dop(false)
+                    .with_morsel_bounds(250, 4_000),
+            ),
+    )
+}
+
+#[test]
+fn adaptive_morsel_sizing_matches_static_sizing_under_both_policies() {
+    // Morsel size is a pure dispatch-granularity knob: whatever trajectory
+    // the controller drives it along, results must stay byte-identical to
+    // the static configuration — under both scheduler policies.
+    let catalog = tpch::generate(TpchScale::new(0.002), 1234);
+    let reference = Engine::with_workers(WORKERS);
+    for query in TpchQuery::all() {
+        let serial = query.build(&catalog).expect("serial plan builds");
+        let hp = heuristic_parallelize(&serial, &catalog, WORKERS).expect("HP rewrite");
+        for plan in [&serial, &hp] {
+            let expected = reference.execute(plan, &catalog).expect("reference executes").output;
+            for policy in SchedulerPolicy::ALL {
+                let engine = adaptive_engine(policy);
+                let shared = Arc::new(plan.clone());
+                // Repeats give the controller time to move the size around;
+                // every repeat must still match the static reference.
+                for rep in 0..4 {
+                    let exec = engine.execute_shared(&shared, &catalog).expect("executes");
+                    assert_eq!(
+                        exec.output, expected,
+                        "{query} [{policy}] rep {rep}: adaptive morsel sizing diverged"
+                    );
+                    // Whatever size each pipeline launched with, it stayed
+                    // inside the configured clamps.
+                    for &size in &exec.profile.morsel_sizes() {
+                        assert!(
+                            (250..=4_000).contains(&size),
+                            "{query} [{policy}]: morsel size {size} escaped the clamps"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
