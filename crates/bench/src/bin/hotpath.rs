@@ -1,0 +1,24 @@
+//! Writes the hot-path benchmark record (`BENCH_hotpath.json`) at the
+//! repository root: slice+union throughput of windowed stream views vs the
+//! materializing reference, and morsel-mode TPC-H Q6/Q14 wall times.
+//!
+//! Usage: `cargo run --release -p apq-bench --bin hotpath [-- --smoke] [--out PATH]`
+
+use apq_bench::hotpath::{self, HotpathConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
+        });
+    let cfg = if smoke { HotpathConfig::smoke() } else { HotpathConfig::full() };
+    eprintln!("hotpath bench: mode={}, writing {out}", cfg.mode);
+    let json = hotpath::run(&cfg);
+    std::fs::write(&out, &json).expect("write benchmark record");
+    print!("{json}");
+}

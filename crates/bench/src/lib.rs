@@ -16,6 +16,7 @@
 pub mod common;
 pub mod config;
 pub mod experiments;
+pub mod hotpath;
 pub mod reporting;
 
 pub use config::ExperimentConfig;

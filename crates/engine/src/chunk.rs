@@ -1,6 +1,6 @@
 //! Intermediate results flowing along plan edges.
 //!
-//! # The `stream_base` candidate-stream alignment invariant
+//! # Candidate streams are zero-copy windowed views
 //!
 //! A *candidate stream* is an intermediate ordered by an oid list rather
 //! than by base-table position (a fetch output, a join result, a projected
@@ -11,15 +11,35 @@
 //! resource controller ([`crate::controller`]) may re-size it per pipeline
 //! *launch* (never within a launched pipeline), so nothing below this layer
 //! may assume two pipelines of one query used the same cut width — only the
-//! `stream_base` labels make slices position-safe, not any fixed stride.
+//! stream-offset labels make slices position-safe, not any fixed stride.
+//!
+//! [`Chunk::Oids`] and [`Chunk::Join`] mirror what [`Column`] already is: an
+//! `Arc`-shared backing plus an `(offset, len)` window ([`OidsView`] /
+//! [`JoinView`]). Cutting a stream is therefore pure window arithmetic —
+//! "creating slices involves marking the boundary ranges … there is no data
+//! copying involved" (paper §2.3) now holds for candidate streams exactly as
+//! it does for base columns, and [`OidsView::slice`] performs **zero heap
+//! allocations** (pinned by `crates/engine/tests/zero_alloc_views.rs`).
+//!
+//! # The `stream_base` alignment invariant
+//!
 //! The invariant, introduced by the PR-1 correctness fix:
 //!
 //! > Every positional partition of a stream remembers its offset within the
 //! > stream (`stream_base`), and every positionally-aligned output carries
 //! > that offset forward.
 //!
-//! [`Chunk::Oids`] and [`Chunk::Join`] carry the offset; slicing adds its
-//! start to it; fetch writes it into the output column's base oid
+//! With windowed views the offset is no longer threaded by hand through
+//! every cut: a view cut from a stream *derives* its `stream_base` from the
+//! window position ([`OidsView::slice`] advances base and window offset in
+//! lockstep), so the invariant holds by construction along slice chains.
+//! The explicit label still exists — and matters — for views over *fresh*
+//! backing at a non-zero stream position ([`Chunk::oids_at`] /
+//! [`Chunk::join_at`]: a projected join side, a packed union of
+//! heterogeneous parts), where the backing offset is 0 but the stream
+//! offset is not.
+//!
+//! Fetch writes the offset into the output column's base oid
 //! ([`apq_columnar::Column::base_oid`]); position-emitting consumers
 //! (probes, selections) then emit *absolute* stream positions. Violating
 //! the invariant does not crash — it silently pairs rows across the wrong
@@ -28,49 +48,242 @@
 //! regression and `docs/architecture.md` §6 for the full story).
 //!
 //! **New position-emitting operators must follow the same three rules:**
-//! read the input's `stream_base`, emit `base + local index`, and label any
-//! sliced output via [`Chunk::oids_at`] / [`Chunk::join_at`]. The exchange
-//! union `debug_assert`s that packed parts are in consistent stream order.
+//! read the input's [`OidsView::stream_base`], emit `base + local index`,
+//! and label any freshly-backed output via [`Chunk::oids_at`] /
+//! [`Chunk::join_at`]. The exchange union `debug_assert`s that packed parts
+//! are in consistent stream order.
 
 use std::sync::Arc;
 
 use apq_columnar::{Column, Oid, ScalarValue};
 use apq_operators::{AggState, GroupKey, GroupedAgg, JoinHashTable, JoinResult};
 
+/// A zero-copy window over an `Arc`-shared candidate (oid) list — the
+/// stream analogue of [`Column`]'s `(storage, offset, len)` view.
+///
+/// `stream_base` is the window's offset within the candidate *stream* it
+/// belongs to: equal to the backing offset for windows cut from a fresh
+/// stream, but independent of it for views over fresh backing at a non-zero
+/// stream position (a projected join side, a packed union of stream parts).
+/// [`OidsView::slice`] advances both in lockstep, so stream offsets are
+/// *derived* along slice chains rather than threaded by hand.
+#[derive(Debug, Clone)]
+pub struct OidsView {
+    data: Arc<Vec<Oid>>,
+    offset: usize,
+    len: usize,
+    stream_base: Oid,
+}
+
+impl OidsView {
+    /// A fresh candidate list (stream offset 0), viewing all of it.
+    pub fn new(oids: Vec<Oid>) -> Self {
+        OidsView::at(oids, 0)
+    }
+
+    /// A full view of fresh backing sitting at `stream_base` within its
+    /// stream (e.g. a projected join side of a stream partition).
+    pub fn at(oids: Vec<Oid>, stream_base: Oid) -> Self {
+        let len = oids.len();
+        OidsView { data: Arc::new(oids), offset: 0, len, stream_base }
+    }
+
+    /// The visible oids.
+    pub fn as_slice(&self) -> &[Oid] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Number of visible oids.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window covers no oids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset of the window within the backing list.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Offset of the window within its candidate stream.
+    pub fn stream_base(&self) -> Oid {
+        self.stream_base
+    }
+
+    /// Total length of the shared backing list (the window covers
+    /// `[offset, offset + len)` of it). [`Chunk::byte_size`] reports window
+    /// bytes; this is the honest denominator for shared-backing claims.
+    pub fn backing_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Cuts a sub-window: pure window arithmetic, no allocation. `start` and
+    /// `len` are clamped to the visible window (the boundary adjustment of
+    /// paper Fig. 9 for dynamically sized partitions). The sub-window's
+    /// `stream_base` advances by the (clamped) start, preserving the
+    /// alignment invariant by construction.
+    pub fn slice(&self, start: usize, len: usize) -> OidsView {
+        let end = start.saturating_add(len).min(self.len);
+        let start = start.min(end);
+        OidsView {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+            stream_base: self.stream_base + start as Oid,
+        }
+    }
+
+    /// True when both views window the same backing allocation.
+    pub fn shares_backing_with(&self, other: &OidsView) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// True when `next` is the window immediately following `self` in the
+    /// same backing *and* the same stream — the reassembly fast-path test:
+    /// packing `self ++ next` equals widening `self` over both windows.
+    pub fn is_contiguous_with(&self, next: &OidsView) -> bool {
+        self.shares_backing_with(next)
+            && next.offset == self.offset + self.len
+            && next.stream_base == self.stream_base + self.len as Oid
+    }
+
+    /// The parent window covering `len` elements from this view's start —
+    /// the zero-copy reassembly of consecutive windows. `len` must fit the
+    /// backing.
+    pub fn widened(&self, len: usize) -> OidsView {
+        debug_assert!(self.offset + len <= self.data.len(), "widened window exceeds backing");
+        OidsView {
+            data: Arc::clone(&self.data),
+            offset: self.offset,
+            len,
+            stream_base: self.stream_base,
+        }
+    }
+}
+
+/// A zero-copy window over an `Arc`-shared join result, exactly like
+/// [`OidsView`] but windowing the parallel `(outer, inner)` oid vectors of a
+/// [`JoinResult`].
+#[derive(Debug, Clone)]
+pub struct JoinView {
+    result: Arc<JoinResult>,
+    offset: usize,
+    len: usize,
+    stream_base: Oid,
+}
+
+impl JoinView {
+    /// A fresh join result (stream offset 0), viewing all of it.
+    pub fn new(result: JoinResult) -> Self {
+        JoinView::at(result, 0)
+    }
+
+    /// A full view of a fresh join result sitting at `stream_base` within
+    /// its join-result stream.
+    pub fn at(result: JoinResult, stream_base: Oid) -> Self {
+        let len = result.len();
+        JoinView { result: Arc::new(result), offset: 0, len, stream_base }
+    }
+
+    /// The visible outer-side oids.
+    pub fn outer(&self) -> &[Oid] {
+        &self.result.outer_oids[self.offset..self.offset + self.len]
+    }
+
+    /// The visible inner-side oids.
+    pub fn inner(&self) -> &[Oid] {
+        &self.result.inner_oids[self.offset..self.offset + self.len]
+    }
+
+    /// Number of visible pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window covers no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset of the window within the backing join result.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Offset of the window within its join-result stream.
+    pub fn stream_base(&self) -> Oid {
+        self.stream_base
+    }
+
+    /// Total pair count of the shared backing join result.
+    pub fn backing_len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Cuts a sub-window: window arithmetic only, no allocation, clamped
+    /// like [`OidsView::slice`].
+    pub fn slice(&self, start: usize, len: usize) -> JoinView {
+        let end = start.saturating_add(len).min(self.len);
+        let start = start.min(end);
+        JoinView {
+            result: Arc::clone(&self.result),
+            offset: self.offset + start,
+            len: end - start,
+            stream_base: self.stream_base + start as Oid,
+        }
+    }
+
+    /// True when both views window the same backing allocation.
+    pub fn shares_backing_with(&self, other: &JoinView) -> bool {
+        Arc::ptr_eq(&self.result, &other.result)
+    }
+
+    /// True when `next` immediately follows `self` in the same backing and
+    /// the same stream (see [`OidsView::is_contiguous_with`]).
+    pub fn is_contiguous_with(&self, next: &JoinView) -> bool {
+        self.shares_backing_with(next)
+            && next.offset == self.offset + self.len
+            && next.stream_base == self.stream_base + self.len as Oid
+    }
+
+    /// The parent window covering `len` pairs from this view's start.
+    pub fn widened(&self, len: usize) -> JoinView {
+        debug_assert!(self.offset + len <= self.result.len(), "widened window exceeds backing");
+        JoinView {
+            result: Arc::clone(&self.result),
+            offset: self.offset,
+            len,
+            stream_base: self.stream_base,
+        }
+    }
+}
+
 /// One materialized intermediate result (the output of a plan node).
 ///
 /// Everything large is behind an `Arc` so that fan-out edges (one producer,
-/// many consumers) never copy data.
+/// many consumers) never copy data, and the stream variants are windowed
+/// views so that positional cuts never copy either.
 #[derive(Debug, Clone)]
 pub enum Chunk {
     /// A value column (base slice or computed intermediate).
     Column(Column),
-    /// A candidate list of absolute oids.
+    /// A windowed view of a candidate list of absolute oids.
     ///
-    /// `stream_base` is the list's own offset within the candidate *stream*
-    /// it was cut from: `0` for a freshly produced list, `k` for a
-    /// `SlicePart { start: k, .. }` partition of one. Operators whose outputs
+    /// The view's `stream_base` is its offset within the candidate *stream*
+    /// it belongs to: `0` for a freshly produced list, `k` for a
+    /// `SlicePart { start: k, .. }` window of one. Operators whose outputs
     /// are positionally aligned with the candidate stream (fetch) propagate
     /// it into their output column's base oid, so that plan mutations may
     /// clone position-emitting consumers (joins, selects) over partitions of
     /// a stream without the partitions forgetting where in the stream they
     /// came from (paper §2.3 alignment).
-    Oids {
-        /// The absolute oids.
-        oids: Arc<Vec<Oid>>,
-        /// Offset of this list within its candidate stream.
-        stream_base: Oid,
-    },
-    /// Matching `(outer, inner)` oid pairs of a join.
-    ///
-    /// `stream_base` tracks the pair list's offset within the join-result
-    /// stream it was cut from, exactly like [`Chunk::Oids::stream_base`].
-    Join {
-        /// The matching pairs.
-        result: Arc<JoinResult>,
-        /// Offset of this pair list within its join-result stream.
-        stream_base: Oid,
-    },
+    Oids(OidsView),
+    /// A windowed view of matching `(outer, inner)` oid pairs of a join,
+    /// with the same stream-offset semantics as [`Chunk::Oids`].
+    Join(JoinView),
     /// A shared join hash table (build side).
     Hash(Arc<JoinHashTable>),
     /// A mergeable partial scalar aggregate.
@@ -84,30 +297,46 @@ pub enum Chunk {
 impl Chunk {
     /// A fresh candidate list (stream offset 0).
     pub fn oids(oids: Vec<Oid>) -> Self {
-        Chunk::Oids { oids: Arc::new(oids), stream_base: 0 }
+        Chunk::Oids(OidsView::new(oids))
     }
 
     /// A candidate list cut from a stream at `stream_base`.
     pub fn oids_at(oids: Vec<Oid>, stream_base: Oid) -> Self {
-        Chunk::Oids { oids: Arc::new(oids), stream_base }
+        Chunk::Oids(OidsView::at(oids, stream_base))
     }
 
     /// A fresh join result (stream offset 0).
     pub fn join(result: JoinResult) -> Self {
-        Chunk::Join { result: Arc::new(result), stream_base: 0 }
+        Chunk::Join(JoinView::new(result))
     }
 
     /// A join-result window cut from a stream at `stream_base`.
     pub fn join_at(result: JoinResult, stream_base: Oid) -> Self {
-        Chunk::Join { result: Arc::new(result), stream_base }
+        Chunk::Join(JoinView::at(result, stream_base))
+    }
+
+    /// The oid view, when this chunk is a candidate list.
+    pub fn as_oids_view(&self) -> Option<&OidsView> {
+        match self {
+            Chunk::Oids(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The join view, when this chunk is a join result.
+    pub fn as_join_view(&self) -> Option<&JoinView> {
+        match self {
+            Chunk::Join(v) => Some(v),
+            _ => None,
+        }
     }
 
     /// Short kind name (used in error messages and plan dumps).
     pub fn kind(&self) -> &'static str {
         match self {
             Chunk::Column(_) => "column",
-            Chunk::Oids { .. } => "oids",
-            Chunk::Join { .. } => "join",
+            Chunk::Oids(_) => "oids",
+            Chunk::Join(_) => "join",
             Chunk::Hash(_) => "hash",
             Chunk::AggPartial(_) => "agg-partial",
             Chunk::Grouped(_) => "grouped",
@@ -115,12 +344,13 @@ impl Chunk {
         }
     }
 
-    /// Number of rows represented by this chunk.
+    /// Number of rows represented by this chunk (the visible window for
+    /// stream views).
     pub fn rows(&self) -> usize {
         match self {
             Chunk::Column(c) => c.len(),
-            Chunk::Oids { oids, .. } => oids.len(),
-            Chunk::Join { result, .. } => result.len(),
+            Chunk::Oids(v) => v.len(),
+            Chunk::Join(v) => v.len(),
             Chunk::Hash(h) => h.len(),
             Chunk::AggPartial(_) | Chunk::Scalar(_) => 1,
             Chunk::Grouped(g) => g.len(),
@@ -128,11 +358,16 @@ impl Chunk {
     }
 
     /// Approximate size in bytes (profiler memory claims).
+    ///
+    /// Windowed variants (columns, oid lists, join results) report the
+    /// *window* bytes, not the shared backing allocation — N views over one
+    /// backing must not claim N× its memory. See [`OidsView::backing_len`] /
+    /// [`JoinView::backing_len`] for the backing size.
     pub fn byte_size(&self) -> usize {
         match self {
             Chunk::Column(c) => c.byte_size(),
-            Chunk::Oids { oids, .. } => oids.len() * 8,
-            Chunk::Join { result, .. } => result.len() * 16,
+            Chunk::Oids(v) => v.len() * std::mem::size_of::<Oid>(),
+            Chunk::Join(v) => v.len() * 2 * std::mem::size_of::<Oid>(),
             Chunk::Hash(h) => h.byte_size(),
             Chunk::AggPartial(_) => std::mem::size_of::<AggState>(),
             Chunk::Scalar(_) => std::mem::size_of::<ScalarValue>(),
@@ -146,10 +381,10 @@ impl Chunk {
             Chunk::Scalar(v) => QueryOutput::Scalar(v.clone()),
             Chunk::Grouped(g) => QueryOutput::Groups(g.finish_sorted()),
             Chunk::AggPartial(s) => QueryOutput::Scalar(s.finish()),
-            Chunk::Oids { oids, .. } => QueryOutput::Oids(oids.as_ref().clone()),
+            Chunk::Oids(v) => QueryOutput::Oids(v.as_slice().to_vec()),
             Chunk::Column(c) => QueryOutput::Column(c.to_scalars()),
-            Chunk::Join { result, .. } => QueryOutput::JoinPairs(
-                result.outer_oids.iter().copied().zip(result.inner_oids.iter().copied()).collect(),
+            Chunk::Join(v) => QueryOutput::JoinPairs(
+                v.outer().iter().copied().zip(v.inner().iter().copied()).collect(),
             ),
             Chunk::Hash(h) => QueryOutput::Opaque(format!("hash-table({} entries)", h.len())),
         }
@@ -235,6 +470,85 @@ mod tests {
         let agg = Chunk::AggPartial(AggState::new(AggFunc::Sum));
         assert_eq!(agg.rows(), 1);
         assert!(agg.byte_size() > 0);
+    }
+
+    #[test]
+    fn oids_view_windows_share_backing() {
+        let parent = OidsView::new((0..100).collect());
+        assert_eq!(parent.len(), 100);
+        assert_eq!(parent.backing_len(), 100);
+        assert_eq!(parent.stream_base(), 0);
+
+        let a = parent.slice(10, 30);
+        assert_eq!(a.as_slice(), (10..40).collect::<Vec<Oid>>());
+        assert_eq!(a.offset(), 10);
+        assert_eq!(a.stream_base(), 10);
+        assert_eq!(a.backing_len(), 100);
+        assert!(a.shares_backing_with(&parent));
+
+        // Nested slice: offsets and bases accumulate.
+        let b = a.slice(5, 10);
+        assert_eq!(b.as_slice(), (15..25).collect::<Vec<Oid>>());
+        assert_eq!(b.stream_base(), 15);
+        assert!(b.shares_backing_with(&parent));
+
+        // Clamping: overshoot is trimmed, far starts become empty windows.
+        let tail = parent.slice(90, 50);
+        assert_eq!(tail.len(), 10);
+        let empty = parent.slice(200, 10);
+        assert!(empty.is_empty());
+        assert_eq!(empty.stream_base(), 100);
+    }
+
+    #[test]
+    fn oids_view_contiguity_and_widening() {
+        let parent = OidsView::new((0..100).collect());
+        let a = parent.slice(0, 40);
+        let b = parent.slice(40, 35);
+        let c = parent.slice(75, 25);
+        assert!(a.is_contiguous_with(&b));
+        assert!(b.is_contiguous_with(&c));
+        assert!(!a.is_contiguous_with(&c));
+        // A fresh list with identical values is a different backing.
+        let alien = OidsView::at((40..75).collect(), 40);
+        assert!(!a.is_contiguous_with(&alien));
+
+        let whole = a.widened(100);
+        assert_eq!(whole.as_slice(), parent.as_slice());
+        assert_eq!(whole.stream_base(), 0);
+    }
+
+    #[test]
+    fn join_view_windows() {
+        let jr = JoinResult { outer_oids: (0..50).collect(), inner_oids: (100..150).collect() };
+        let parent = JoinView::new(jr);
+        assert_eq!(parent.len(), 50);
+        assert_eq!(parent.backing_len(), 50);
+
+        let w = parent.slice(10, 20);
+        assert_eq!(w.outer(), (10..30).collect::<Vec<Oid>>());
+        assert_eq!(w.inner(), (110..130).collect::<Vec<Oid>>());
+        assert_eq!(w.stream_base(), 10);
+        assert_eq!(w.offset(), 10);
+        assert!(w.shares_backing_with(&parent));
+
+        let rest = parent.slice(30, 99);
+        assert_eq!(rest.len(), 20);
+        assert!(w.is_contiguous_with(&rest));
+        assert_eq!(w.widened(40).outer(), (10..50).collect::<Vec<Oid>>());
+    }
+
+    #[test]
+    fn windowed_byte_size_reports_window_not_backing() {
+        let parent = Chunk::oids((0..1000).collect());
+        assert_eq!(parent.byte_size(), 8000);
+        let window = parent.as_oids_view().unwrap().slice(100, 10);
+        assert_eq!(window.backing_len(), 1000);
+        assert_eq!(Chunk::Oids(window).byte_size(), 80);
+
+        let jr = JoinResult { outer_oids: (0..100).collect(), inner_oids: (0..100).collect() };
+        let jw = JoinView::new(jr).slice(0, 4);
+        assert_eq!(Chunk::Join(jw).byte_size(), 64);
     }
 
     #[test]

@@ -905,7 +905,7 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                     // cannot be sliced; the pipeline still runs, as a single
                     // morsel covering the whole input.
                     let sliceable =
-                        matches!(chunk, Chunk::Column(_) | Chunk::Oids { .. } | Chunk::Join { .. });
+                        matches!(chunk, Chunk::Column(_) | Chunk::Oids(_) | Chunk::Join(_));
                     (chunk.rows(), 0, sliceable)
                 }
             };
@@ -1047,14 +1047,42 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
         };
         let mut inputs: Vec<Chunk> = Vec::with_capacity(node_ref.inputs.len());
         inputs.push(cur);
-        for &input in node_ref.inputs.iter().skip(1) {
-            match state.results.get(input).and_then(OnceLock::get) {
-                Some(chunk) => inputs.push(chunk.clone()),
+        let aligned = node_ref.spec.aligned_inputs(node_ref.inputs.len());
+        for (i, &input) in node_ref.inputs.iter().enumerate().skip(1) {
+            let chunk = match state.results.get(input).and_then(OnceLock::get) {
+                Some(chunk) => chunk,
                 None => {
                     return state.fail(EngineError::InvalidPlan(format!(
                         "stage {stage} ran before its shared input {input} completed"
                     )));
                 }
+            };
+            // A range-aligned secondary input (Calc col⊗col, IfThenElse)
+            // zips positionally against the pipeline stream, so it must be
+            // cut at the same relative window as the source morsel. The
+            // analyzer only fuses these stages when nothing upstream has
+            // compacted the stream, so the source's morsel grid applies
+            // verbatim. A whole-length mismatch is surfaced here exactly as
+            // operator-at-a-time would report it; without this check each
+            // morsel-sized slice pair could happen to agree and silently
+            // diverge from the serial semantics.
+            let positional = matches!(chunk, Chunk::Column(_) | Chunk::Oids(_) | Chunk::Join(_));
+            if run.n_morsels > 1 && aligned.get(i).copied().unwrap_or(false) && positional {
+                if chunk.rows() != run.source_rows {
+                    return state.fail(
+                        apq_operators::OperatorError::LengthMismatch {
+                            left: run.source_rows,
+                            right: chunk.rows(),
+                        }
+                        .into(),
+                    );
+                }
+                match slice_part(input, chunk, morsel * morsel_rows, morsel_rows) {
+                    Ok(slice) => inputs.push(slice),
+                    Err(e) => return state.fail(e),
+                }
+            } else {
+                inputs.push(chunk.clone());
             }
         }
         let started = Instant::now();

@@ -15,7 +15,7 @@ use apq_operators::{
     OperatorError,
 };
 
-use crate::chunk::Chunk;
+use crate::chunk::{Chunk, JoinView, OidsView};
 use crate::error::{EngineError, Result};
 use crate::plan::{JoinSide, NodeId, OperatorSpec};
 
@@ -30,10 +30,10 @@ fn as_column(node: NodeId, chunk: &Chunk) -> Result<&Column> {
     }
 }
 
-/// Returns the oid list together with its stream offset.
-fn as_oids(node: NodeId, chunk: &Chunk) -> Result<(&Arc<Vec<Oid>>, Oid)> {
+/// Returns the candidate-list view (visible oids + derived stream offset).
+fn as_oids(node: NodeId, chunk: &Chunk) -> Result<&OidsView> {
     match chunk {
-        Chunk::Oids { oids, stream_base } => Ok((oids, *stream_base)),
+        Chunk::Oids(view) => Ok(view),
         other => Err(input_error(node, "oids", other)),
     }
 }
@@ -45,10 +45,10 @@ fn as_hash(node: NodeId, chunk: &Chunk) -> Result<&Arc<JoinHashTable>> {
     }
 }
 
-/// Returns the join result together with its stream offset.
-fn as_join(node: NodeId, chunk: &Chunk) -> Result<(&Arc<JoinResult>, Oid)> {
+/// Returns the join-result view (visible pairs + derived stream offset).
+fn as_join(node: NodeId, chunk: &Chunk) -> Result<&JoinView> {
     match chunk {
-        Chunk::Join { result, stream_base } => Ok((result, *stream_base)),
+        Chunk::Join(view) => Ok(view),
         other => Err(input_error(node, "join", other)),
     }
 }
@@ -83,8 +83,8 @@ pub fn execute_node(
         OperatorSpec::Select { predicate } => {
             let col = as_column(node, &inputs[0])?;
             let oids = if inputs.len() > 1 {
-                let (cands, _) = as_oids(node, &inputs[1])?;
-                select_with_candidates(col, predicate, cands)?
+                let cands = as_oids(node, &inputs[1])?;
+                select_with_candidates(col, predicate, cands.as_slice())?
             } else {
                 select(col, predicate)?
             };
@@ -111,23 +111,23 @@ pub fn execute_node(
         }
 
         OperatorSpec::Fetch => {
-            let (oids, stream_base) = as_oids(node, &inputs[0])?;
+            let oids = as_oids(node, &inputs[0])?;
             let col = as_column(node, &inputs[1])?;
             // The fetched values are positionally aligned with the candidate
-            // stream, so the output column starts at the oid list's stream
+            // stream, so the output column starts at the oid view's stream
             // offset. This is what lets a position-emitting consumer (probe,
             // select) be cloned over SlicePart partitions of a stream: each
             // partition's fetch output knows where in the stream it sits.
-            Ok(Chunk::Column(fetch(col, oids)?.with_base_oid(stream_base)))
+            Ok(Chunk::Column(fetch(col, oids.as_slice())?.with_base_oid(oids.stream_base())))
         }
 
         OperatorSpec::FetchClamped => {
-            let (oids, stream_base) = as_oids(node, &inputs[0])?;
+            let oids = as_oids(node, &inputs[0])?;
             let col = as_column(node, &inputs[1])?;
-            let (fetched, _, dropped) = fetch_clamped(col, oids)?;
+            let (fetched, _, dropped) = fetch_clamped(col, oids.as_slice())?;
             // Dropped oids shift positions, so stream alignment only
             // survives a clamp that dropped nothing.
-            let base = if dropped == 0 { stream_base } else { 0 };
+            let base = if dropped == 0 { oids.stream_base() } else { 0 };
             Ok(Chunk::Column(fetched.with_base_oid(base)))
         }
 
@@ -155,14 +155,14 @@ pub fn execute_node(
         }
 
         OperatorSpec::ProjectJoinSide { side } => {
-            let (join, stream_base) = as_join(node, &inputs[0])?;
+            let join = as_join(node, &inputs[0])?;
             let oids = match side {
-                JoinSide::Outer => join.outer_oids.clone(),
-                JoinSide::Inner => join.inner_oids.clone(),
+                JoinSide::Outer => join.outer().to_vec(),
+                JoinSide::Inner => join.inner().to_vec(),
             };
-            // The projected oid list inherits the join window's offset within
-            // the join-result stream.
-            Ok(Chunk::oids_at(oids, stream_base))
+            // The projected oid list is fresh backing, but inherits the join
+            // window's offset within the join-result stream.
+            Ok(Chunk::oids_at(oids, join.stream_base()))
         }
 
         OperatorSpec::OidsFromColumn => {
@@ -262,9 +262,12 @@ pub fn execute_node(
 /// (the boundary adjustment of paper Fig. 9 for dynamically sized partitions).
 ///
 /// Also the morsel cutter of the morsel-driven execution mode
-/// (`crate::pipeline`): slices of candidate/join streams carry their
-/// `stream_base` offset forward, so fused stages over a morsel emit
-/// correctly labelled stream positions.
+/// (`crate::pipeline`), which makes this a hot-path function: all three
+/// positional kinds are windowed views, so a cut is pure window arithmetic —
+/// **zero heap allocations** (pinned by
+/// `crates/engine/tests/zero_alloc_views.rs`). Stream windows derive their
+/// `stream_base` offset from the cut position, so fused stages over a morsel
+/// emit correctly labelled stream positions.
 pub(crate) fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) -> Result<Chunk> {
     match input {
         Chunk::Column(c) => {
@@ -272,23 +275,8 @@ pub(crate) fn slice_part(node: NodeId, input: &Chunk, start: usize, len: usize) 
             let start = start.min(end);
             Ok(Chunk::Column(c.slice(start, end - start)?))
         }
-        Chunk::Oids { oids, stream_base } => {
-            let end = (start + len).min(oids.len());
-            let start = start.min(end);
-            // The partition remembers its offset within the stream.
-            Ok(Chunk::oids_at(oids[start..end].to_vec(), stream_base + start as Oid))
-        }
-        Chunk::Join { result, stream_base } => {
-            let end = (start + len).min(result.len());
-            let start = start.min(end);
-            Ok(Chunk::join_at(
-                JoinResult {
-                    outer_oids: result.outer_oids[start..end].to_vec(),
-                    inner_oids: result.inner_oids[start..end].to_vec(),
-                },
-                stream_base + start as Oid,
-            ))
-        }
+        Chunk::Oids(view) => Ok(Chunk::Oids(view.slice(start, len))),
+        Chunk::Join(view) => Ok(Chunk::Join(view.slice(start, len))),
         other => Err(input_error(node, "column, oids or join", other)),
     }
 }
@@ -361,21 +349,33 @@ fn stream_order_is_consistent(bases: &[(Oid, usize)]) -> bool {
     bases.iter().all(|&(b, _)| b == 0) || bases.windows(2).all(|w| w[1].0 == w[0].0 + w[0].1 as Oid)
 }
 
+/// Debug-only wrapper building the `(stream_base, len)` pairs for the
+/// stream-order assertion, so the release hot path does not materialize them.
+fn stream_order_check<T>(views: &[&T], base_len: impl Fn(&T) -> (Oid, usize)) -> bool {
+    let bases: Vec<(Oid, usize)> = views.iter().map(|v| base_len(v)).collect();
+    stream_order_is_consistent(&bases)
+}
+
 /// The exchange-union operator: packs same-kind chunks in argument order.
 ///
 /// Doubles as the morsel-driven pipeline assembler: packing the per-morsel
 /// terminal outputs in morsel order is exactly the recombination that makes
 /// morsel execution byte-identical to whole-node execution.
+///
+/// Stream parts (oid lists, join results) take a **zero-copy fast path**
+/// when every part is the window immediately following its predecessor in
+/// one shared backing — the common case when `SlicePart` windows of one
+/// stream are recombined: the union is then just the parent window (an `Arc`
+/// clone), no packing. Heterogeneous parts fall back to packing, borrowing
+/// each part's visible slice directly (one allocation total, no per-part
+/// intermediate clones).
 pub(crate) fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
     let first = inputs.first().ok_or(EngineError::Operator(OperatorError::EmptyInput("union")))?;
     match first {
-        Chunk::Oids { .. } => {
-            let mut parts = Vec::with_capacity(inputs.len());
-            let mut bases = Vec::with_capacity(inputs.len());
+        Chunk::Oids(_) => {
+            let mut views = Vec::with_capacity(inputs.len());
             for chunk in inputs {
-                let (oids, stream_base) = as_oids(node, chunk)?;
-                bases.push((stream_base, oids.len()));
-                parts.push(oids.as_ref().clone());
+                views.push(as_oids(node, chunk)?);
             }
             // Parts must be packed in stream order: either every part is a
             // fresh stream (base 0 — the packed list is then itself a new
@@ -384,11 +384,17 @@ pub(crate) fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
             // row-redistribution class the stream_base plumbing exists to
             // prevent — so it is asserted rather than silently accepted.
             debug_assert!(
-                stream_order_is_consistent(&bases),
-                "node {node}: exchange-union inputs are not in stream order: {bases:?}"
+                stream_order_check(&views, |v| (v.stream_base(), v.len())),
+                "node {node}: exchange-union inputs are not in stream order"
             );
-            let first_base = bases.first().map_or(0, |&(b, _)| b);
-            Ok(Chunk::oids_at(apq_operators::pack_oids(&parts), first_base))
+            let total: usize = views.iter().map(|v| v.len()).sum();
+            if views.windows(2).all(|w| w[0].is_contiguous_with(w[1])) {
+                // Consecutive windows of one backing: reassemble by widening
+                // the first window over all of them — no copying.
+                return Ok(Chunk::Oids(views[0].widened(total)));
+            }
+            let parts: Vec<&[Oid]> = views.iter().map(|v| v.as_slice()).collect();
+            Ok(Chunk::oids_at(apq_operators::pack_oids(&parts), views[0].stream_base()))
         }
         Chunk::Column(first_col) => {
             let mut parts = Vec::with_capacity(inputs.len());
@@ -401,20 +407,22 @@ pub(crate) fn exchange_union(node: NodeId, inputs: &[Chunk]) -> Result<Chunk> {
                 apq_operators::pack_columns(&parts)?.with_base_oid(first_col.base_oid()),
             ))
         }
-        Chunk::Join { .. } => {
-            let mut parts = Vec::with_capacity(inputs.len());
-            let mut bases = Vec::with_capacity(inputs.len());
+        Chunk::Join(_) => {
+            let mut views = Vec::with_capacity(inputs.len());
             for chunk in inputs {
-                let (join, stream_base) = as_join(node, chunk)?;
-                bases.push((stream_base, join.len()));
-                parts.push(join.as_ref().clone());
+                views.push(as_join(node, chunk)?);
             }
             debug_assert!(
-                stream_order_is_consistent(&bases),
-                "node {node}: exchange-union join inputs are not in stream order: {bases:?}"
+                stream_order_check(&views, |v| (v.stream_base(), v.len())),
+                "node {node}: exchange-union join inputs are not in stream order"
             );
-            let first_base = bases.first().map_or(0, |&(b, _)| b);
-            Ok(Chunk::join_at(JoinResult::concat(&parts), first_base))
+            let total: usize = views.iter().map(|v| v.len()).sum();
+            if views.windows(2).all(|w| w[0].is_contiguous_with(w[1])) {
+                return Ok(Chunk::Join(views[0].widened(total)));
+            }
+            let parts: Vec<(&[Oid], &[Oid])> =
+                views.iter().map(|v| (v.outer(), v.inner())).collect();
+            Ok(Chunk::join_at(JoinResult::concat_parts(&parts), views[0].stream_base()))
         }
         Chunk::AggPartial(first_state) => {
             let mut state = AggState::new(first_state.func());
@@ -560,7 +568,7 @@ mod tests {
         let sel = OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Ge, 50i64) };
         let out = execute_node(1, &sel, &[col, cands], &cat).unwrap();
         match &out {
-            Chunk::Oids { oids, .. } => assert_eq!(oids.as_ref(), &vec![50, 99]),
+            Chunk::Oids(view) => assert_eq!(view.as_slice(), &[50, 99]),
             other => panic!("unexpected {other:?}"),
         }
         let packed =

@@ -41,7 +41,7 @@ pub mod plan;
 pub mod profiler;
 pub mod scheduler;
 
-pub use chunk::{Chunk, QueryOutput};
+pub use chunk::{Chunk, JoinView, OidsView, QueryOutput};
 pub use controller::{ControllerConfig, TickReport};
 pub use error::{EngineError, Result};
 pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions};

@@ -30,21 +30,35 @@
 //!
 //! A pipeline is a maximal linear chain of *streamable* stages: operators
 //! that process their first (range-aligned) input row-wise while every other
-//! input — hash tables, full columns being fetched into — is shared whole
-//! (see [`crate::plan::OperatorSpec::aligned_inputs`]). Select, fetch, hash
-//! probe / semi / anti join, scalar calc, predicate masks, join-side
-//! projections and partial scalar aggregates all qualify; pipeline breakers
-//! (hash build, grouped aggregation, exchange union, finalize) run
-//! operator-at-a-time between pipelines. Every intermediate stage must have
-//! exactly one consumer (the next stage); only the terminal stage's output
-//! is materialized and published to the rest of the plan.
+//! input is either shared whole — hash tables, full columns being fetched
+//! into — or, for the **two-range-aligned-input** stages (`Calc` col⊗col,
+//! `IfThenElse`), sliced on the *same morsel grid* as the stream (see
+//! [`crate::plan::OperatorSpec::aligned_inputs`]). Select, fetch, hash
+//! probe / semi / anti join, calc (scalar *and* column⊗column), if-then-else,
+//! predicate masks, join-side projections and partial scalar aggregates all
+//! qualify; pipeline breakers (hash build, grouped aggregation, exchange
+//! union, finalize) run operator-at-a-time between pipelines. Every
+//! intermediate stage must have exactly one consumer (the next stage); only
+//! the terminal stage's output is materialized and published to the rest of
+//! the plan.
 //!
-//! One ordering constraint applies inside a chain: once a stage has
-//! *created a new stream* (a selection or join compacts its input, so a
-//! morsel yields only morsel-local ranks), no later stage that *emits
-//! positions* of that stream (another selection or join) may fuse — it
-//! starts its own pipeline over the globally assembled chunk instead (see
-//! `creates_stream` / `emits_positions` below).
+//! Two ordering constraints apply inside a chain, both triggered by a stage
+//! that has *created a new stream* (a selection or join compacts its input,
+//! so a morsel yields only morsel-local ranks, and morsel lengths become
+//! data dependent):
+//!
+//! 1. no later stage that *emits positions* of that stream (another
+//!    selection or join) may fuse — its output bases would be morsel-local;
+//! 2. no later stage with a second range-aligned input may fuse — the
+//!    source's morsel grid no longer describes the stream, so the
+//!    grid-aligned cut of the shared input would zip against the wrong rows.
+//!
+//! Either stage instead starts its own pipeline over the globally assembled
+//! chunk (see `creates_stream` / `emits_positions` /
+//! `has_aligned_second_input` below). Fusing a two-aligned-input stage also
+//! requires the shared input's whole row count to equal the pipeline
+//! source's — the executor checks this once per morsel and reports the same
+//! `LengthMismatch` operator-at-a-time execution would.
 //!
 //! # Result equivalence
 //!
@@ -181,22 +195,27 @@ pub(crate) struct PipelinePlan {
 }
 
 /// True when `spec` can run as a fused pipeline stage: it streams its first
-/// input row-wise and shares every other input whole.
+/// input row-wise, and every other input is either shared whole (hash
+/// tables, fetch targets) or — for the two-range-aligned-input stages
+/// (`Calc` col⊗col, `IfThenElse`) — sliced at the same relative window as
+/// the stream, which is byte-identical because those operators are pure
+/// positional zips of equal-length inputs.
 ///
-/// `Select` and `Calc` only qualify in their single-column-input forms: a
-/// candidate-refining select filters through an unaligned oid list and a
-/// two-column calc has *two* aligned inputs, neither of which a linear chain
-/// can slice consistently. `SlicePart` is excluded because its `start`/`len`
-/// address the whole input, not a morsel of it.
+/// `Select` only qualifies in its single-column-input form: a
+/// candidate-refining select filters through an *unaligned* oid list that
+/// cannot be cut on the stream's morsel grid. `SlicePart` is excluded
+/// because its `start`/`len` address the whole input, not a morsel of it.
 fn is_fusible_stage(spec: &OperatorSpec, n_inputs: usize) -> bool {
     match spec {
-        OperatorSpec::Select { .. } | OperatorSpec::Calc { .. } => n_inputs == 1,
+        OperatorSpec::Select { .. } => n_inputs == 1,
+        OperatorSpec::Calc { .. } => n_inputs <= 2,
         OperatorSpec::PredMask { .. }
         | OperatorSpec::Fetch
         | OperatorSpec::HashProbe
         | OperatorSpec::SemiJoin
         | OperatorSpec::AntiJoin
         | OperatorSpec::ProjectJoinSide { .. }
+        | OperatorSpec::IfThenElse { .. }
         | OperatorSpec::OidsFromColumn
         | OperatorSpec::ScalarAgg { .. } => true,
         _ => false,
@@ -230,6 +249,19 @@ fn emits_positions(spec: &OperatorSpec) -> bool {
     creates_stream(spec)
 }
 
+/// True when the operator zips a *second range-aligned input* against its
+/// first (`Calc` col⊗col, `IfThenElse`): the executor slices that shared
+/// input on the same morsel grid as the pipeline source. This is only sound
+/// while the stream still *is* the source's grid — once a stage has
+/// compacted the stream ([`creates_stream`]), morsel lengths are data
+/// dependent and the grid-aligned cut of the external input would zip
+/// against the wrong (or wrongly sized) rows. Such a stage must then start
+/// its own pipeline over the globally assembled chunk, where alignment is
+/// re-established against the whole intermediate.
+fn has_aligned_second_input(spec: &OperatorSpec, n_inputs: usize) -> bool {
+    n_inputs > 1 && spec.aligned_inputs(n_inputs).iter().skip(1).any(|&a| a)
+}
+
 impl PipelinePlan {
     /// Decomposes a validated plan into pipelines and single-node steps.
     ///
@@ -258,7 +290,10 @@ impl PipelinePlan {
             if occurrences != 1 || node.inputs.first() != Some(&id) {
                 return None;
             }
-            if stream_created && emits_positions(&node.spec) {
+            if stream_created
+                && (emits_positions(&node.spec)
+                    || has_aligned_second_input(&node.spec, node.inputs.len()))
+            {
                 return None;
             }
             is_fusible_stage(&node.spec, node.inputs.len()).then_some(*consumer)
@@ -563,6 +598,101 @@ mod tests {
             matches!(chain, Step::Fused(pl) if pl.stages == vec![join, side, fetched, agg]),
             "probe + value transforms should stay fused: {chain:?}"
         );
+    }
+
+    #[test]
+    fn two_input_calc_fuses_on_the_source_grid() {
+        // scan a → calc(a ⊗ b) → agg → finalize, b scanned separately: the
+        // col⊗col calc fuses into the scan's pipeline; b stays a single step
+        // shared into it (and sliced per morsel by the executor).
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 1000), vec![]);
+        let b = p.add(scan("b", 1000), vec![]);
+        let calc = p.add(
+            OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            vec![a, b],
+        );
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![calc]);
+        let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+        p.set_root(fin);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let chain = &fused.steps[fused.step_of[calc].unwrap()];
+        assert!(
+            matches!(chain, Step::Fused(pl) if pl.source == PipelineSource::Scan { node: a }
+                && pl.stages == vec![calc, agg]),
+            "col⊗col calc should fuse with its first-input scan: {chain:?}"
+        );
+        assert!(matches!(fused.steps[fused.step_of[b].unwrap()], Step::Single(_)));
+    }
+
+    #[test]
+    fn if_then_else_fuses_in_chain() {
+        // scan mask → pred-mask → ifthenelse(mask, vals) → agg: the guarded
+        // projection streams, its `vals` input sliced on the same grid.
+        let mut p = Plan::new();
+        let m = p.add(scan("a", 1000), vec![]);
+        let mask =
+            p.add(OperatorSpec::PredMask { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![m]);
+        let vals = p.add(scan("b", 1000), vec![]);
+        let ite =
+            p.add(OperatorSpec::IfThenElse { otherwise: ScalarValue::I64(0) }, vec![mask, vals]);
+        let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![ite]);
+        p.set_root(agg);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let chain = &fused.steps[fused.step_of[ite].unwrap()];
+        assert!(
+            matches!(chain, Step::Fused(pl) if pl.source == PipelineSource::Scan { node: m }
+                && pl.stages == vec![mask, ite, agg]),
+            "ifthenelse should fuse behind the mask chain: {chain:?}"
+        );
+    }
+
+    #[test]
+    fn aligned_second_input_does_not_fuse_after_a_stream_creator() {
+        // scan a → select → fetch(b) → calc(⊗ c): the select compacts the
+        // stream, so the col⊗col calc's grid-aligned slice of c would no
+        // longer line up — the calc must start its own pipeline over the
+        // assembled fetch output.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 1000), vec![]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let b = p.add(scan("b", 1000), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+        let c = p.add(scan("c", 1000), vec![]);
+        let calc = p.add(
+            OperatorSpec::Calc { op: BinaryOp::Add, left_scalar: None, right_scalar: None },
+            vec![fetch, c],
+        );
+        p.set_root(calc);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let first = &fused.steps[fused.step_of[a].unwrap()];
+        assert!(
+            matches!(first, Step::Fused(pl) if pl.stages == vec![sel, fetch]),
+            "chain should stop before the two-input calc: {first:?}"
+        );
+        let calc_step = &fused.steps[fused.step_of[calc].unwrap()];
+        assert!(
+            matches!(calc_step, Step::Fused(pl)
+                if pl.source == PipelineSource::Chunk { producer: fetch }
+                && pl.stages == vec![calc]),
+            "two-input calc should restart over the assembled chunk: {calc_step:?}"
+        );
+    }
+
+    #[test]
+    fn self_zipping_calc_stays_single() {
+        // calc(x, x): inputs[0] occurs twice, so neither the chain rule nor
+        // the head rule admits it — it runs whole, exactly like OAT.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 100), vec![]);
+        let sq = p.add(
+            OperatorSpec::Calc { op: BinaryOp::Mul, left_scalar: None, right_scalar: None },
+            vec![a, a],
+        );
+        p.set_root(sq);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        assert!(matches!(fused.steps[fused.step_of[sq].unwrap()], Step::Single(_)));
     }
 
     #[test]

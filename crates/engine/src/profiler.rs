@@ -40,6 +40,10 @@ pub struct OperatorProfile {
     /// Rows in the operator's output chunk.
     pub rows_out: usize,
     /// Approximate bytes of the operator's output chunk (memory claim).
+    /// For windowed candidate/join streams ([`crate::chunk::OidsView`],
+    /// [`crate::chunk::JoinView`]) this is the *window's* bytes, not the
+    /// shared backing's — so per-morsel claims over one backing sum to the
+    /// backing size once, never N× it.
     pub bytes_out: usize,
 }
 

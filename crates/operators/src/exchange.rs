@@ -17,11 +17,15 @@ use apq_columnar::{Column, Oid};
 use crate::error::{OperatorError, Result};
 
 /// Packs per-partition candidate lists into one list, in argument order.
-pub fn pack_oids(parts: &[Vec<Oid>]) -> Vec<Oid> {
-    let total: usize = parts.iter().map(Vec::len).sum();
+///
+/// Parts are borrowed (`&[Oid]` slices, owned `Vec`s, or anything slice-like)
+/// so callers holding windowed views pack straight from the shared backing —
+/// one allocation for the output, no per-part intermediate copies.
+pub fn pack_oids<S: AsRef<[Oid]>>(parts: &[S]) -> Vec<Oid> {
+    let total: usize = parts.iter().map(|p| p.as_ref().len()).sum();
     let mut out = Vec::with_capacity(total);
     for p in parts {
-        out.extend_from_slice(p);
+        out.extend_from_slice(p.as_ref());
     }
     out
 }
@@ -52,7 +56,16 @@ mod tests {
         let c = vec![];
         let d = vec![20u64, 21];
         assert_eq!(pack_oids(&[a, b, c, d]), vec![1, 2, 3, 10, 20, 21]);
-        assert!(pack_oids(&[]).is_empty());
+        assert!(pack_oids::<Vec<Oid>>(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_oids_packs_from_borrowed_slices() {
+        // Windowed callers pack straight from a shared backing: slices of
+        // one vector, no per-part owned clones.
+        let backing: Vec<Oid> = (0..10).collect();
+        let parts: [&[Oid]; 3] = [&backing[0..4], &backing[4..4], &backing[4..10]];
+        assert_eq!(pack_oids(&parts), backing);
     }
 
     #[test]

@@ -65,6 +65,26 @@ impl JoinResult {
         }
         out
     }
+
+    /// Concatenates borrowed `(outer, inner)` pair windows in argument order.
+    ///
+    /// The slice-based flavour of [`JoinResult::concat`], for callers holding
+    /// windowed views over shared results: packs straight from the backing
+    /// (two output allocations total, no per-part intermediate clones). Each
+    /// part's slices must have equal length.
+    pub fn concat_parts(parts: &[(&[Oid], &[Oid])]) -> JoinResult {
+        let total: usize = parts.iter().map(|(o, _)| o.len()).sum();
+        let mut out = JoinResult {
+            outer_oids: Vec::with_capacity(total),
+            inner_oids: Vec::with_capacity(total),
+        };
+        for (outer, inner) in parts {
+            debug_assert_eq!(outer.len(), inner.len(), "join part windows must be parallel");
+            out.outer_oids.extend_from_slice(outer);
+            out.inner_oids.extend_from_slice(inner);
+        }
+        out
+    }
 }
 
 #[inline]
@@ -257,6 +277,19 @@ mod tests {
         }
         let packed = JoinResult::concat(&parts);
         assert_eq!(packed, serial);
+    }
+
+    #[test]
+    fn concat_parts_matches_concat() {
+        let a = JoinResult { outer_oids: vec![1, 2], inner_oids: vec![10, 20] };
+        let b = JoinResult { outer_oids: vec![3], inner_oids: vec![30] };
+        let owned = JoinResult::concat(&[a.clone(), b.clone()]);
+        let borrowed = JoinResult::concat_parts(&[
+            (a.outer_oids.as_slice(), a.inner_oids.as_slice()),
+            (b.outer_oids.as_slice(), b.inner_oids.as_slice()),
+        ]);
+        assert_eq!(owned, borrowed);
+        assert!(JoinResult::concat_parts(&[]).is_empty());
     }
 
     #[test]
