@@ -42,6 +42,17 @@
 //! Vectorwise-style elasticity the paper's concurrency experiments model;
 //! without the controller, behavior is exactly the historical fixed-grant
 //! scheme.
+//!
+//! **Known limitation — two censuses.** This controller counts clients in
+//! its own atomic, while the engine's registry (the census controller
+//! ticks read) only learns about a query once it is submitted. A client
+//! holding a ticket but not yet executing is counted here and invisible
+//! there, so entry grants and mid-flight re-grant targets can disagree
+//! for the whole ticket-held window. The engine's service layer closes
+//! that window by folding admission into the registry itself — a ticket
+//! *is* a reservation ([`apq_engine::Engine::reserve_admitted`],
+//! [`apq_engine::QueryService`]); this baseline keeps the historical
+//! split-census behavior as the paper's comparison point.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

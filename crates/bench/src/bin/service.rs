@@ -1,0 +1,24 @@
+//! Writes the service-layer benchmark record (`BENCH_service.json`) at the
+//! repository root: session churn throughput through `QueryService` and the
+//! staged-departure response-time/DOP-grant series.
+//!
+//! Usage: `cargo run --release -p apq-bench --bin service [-- --smoke] [--out PATH]`
+
+use apq_bench::service::{self, ServiceBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_string()
+        });
+    let cfg = if smoke { ServiceBenchConfig::smoke() } else { ServiceBenchConfig::full() };
+    eprintln!("service bench: mode={}, writing {out}", cfg.mode);
+    let json = service::run(&cfg);
+    std::fs::write(&out, &json).expect("write benchmark record");
+    print!("{json}");
+}

@@ -18,6 +18,7 @@ pub mod config;
 pub mod experiments;
 pub mod hotpath;
 pub mod reporting;
+pub mod service;
 
 pub use config::ExperimentConfig;
 pub use reporting::ExperimentTable;

@@ -1,0 +1,295 @@
+//! Service-layer benchmark: client churn through [`apq_engine::QueryService`]
+//! session handles at thousands of sessions, plus a Fig. 16-style staged
+//! departure experiment charting response time against the reservation-phase
+//! DOP grants recorded in `QueryProfile::dop_timeline`.
+//!
+//! The `service` binary writes the results as `BENCH_service.json` at the
+//! repository root. CI runs it in `--smoke` mode so the binary never rots;
+//! real numbers come from the default (full) mode.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use apq_engine::{
+    DopPhase, EngineConfig, ExecutionMode, Plan, QueryService, SchedulerPolicy, ServiceConfig,
+};
+use apq_workloads::tpch::{self, TpchQuery, TpchScale};
+
+/// Sizing knobs for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceBenchConfig {
+    /// Total sessions opened (and closed) by the churn section.
+    pub sessions: usize,
+    /// Submissions per session.
+    pub queries_per_session: usize,
+    /// Concurrent client threads driving the churn.
+    pub churn_threads: usize,
+    /// Clients in the first stage of the staged-departure experiment
+    /// (halves every stage until one remains).
+    pub departure_clients: usize,
+    /// Submissions per client per departure stage.
+    pub submissions_per_stage: usize,
+    /// Worker threads in the engine pool.
+    pub workers: usize,
+    /// TPC-H scale factor.
+    pub tpch_sf: f64,
+    /// Label recorded in the JSON (`"full"` / `"smoke"`).
+    pub mode: &'static str,
+}
+
+impl ServiceBenchConfig {
+    /// Full-size run: thousands of sessions, produces the recorded numbers.
+    pub fn full() -> Self {
+        ServiceBenchConfig {
+            sessions: 2_000,
+            queries_per_session: 4,
+            churn_threads: 8,
+            departure_clients: 8,
+            submissions_per_stage: 6,
+            workers: 4,
+            tpch_sf: 0.02,
+            mode: "full",
+        }
+    }
+
+    /// Seconds-scale run for CI smoke and unit tests.
+    pub fn smoke() -> Self {
+        ServiceBenchConfig {
+            sessions: 64,
+            queries_per_session: 2,
+            churn_threads: 4,
+            departure_clients: 4,
+            submissions_per_stage: 2,
+            workers: 2,
+            tpch_sf: 0.002,
+            mode: "smoke",
+        }
+    }
+}
+
+fn service(cfg: &ServiceBenchConfig) -> QueryService {
+    QueryService::new(
+        ServiceConfig::with_engine(
+            EngineConfig::with_workers(cfg.workers)
+                .with_scheduler(SchedulerPolicy::WorkStealing)
+                .with_execution_mode(ExecutionMode::MorselDriven),
+        ),
+        tpch::generate(TpchScale::new(cfg.tpch_sf), 1234),
+    )
+}
+
+fn query_mix(svc: &QueryService) -> Vec<Plan> {
+    let catalog = svc.catalog();
+    [TpchQuery::Q6, TpchQuery::Q14]
+        .iter()
+        .map(|q| q.build(&catalog).expect("TPC-H plan builds"))
+        .collect()
+}
+
+struct ChurnReport {
+    sessions: usize,
+    queries: u64,
+    elapsed_ms: f64,
+    result_cache_hits: u64,
+    result_cache_misses: u64,
+    plan_cache_hits: u64,
+}
+
+/// Client churn: `cfg.churn_threads` clients open, use and close sessions
+/// until `cfg.sessions` have passed through the service, all sharing the
+/// plan/result caches and the unified admission census.
+fn run_churn(cfg: &ServiceBenchConfig) -> ChurnReport {
+    let svc = service(cfg);
+    let plans = Arc::new(query_mix(&svc));
+    let next_session = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..cfg.churn_threads)
+        .map(|_| {
+            let svc = svc.clone();
+            let plans = Arc::clone(&plans);
+            let next_session = Arc::clone(&next_session);
+            let total = cfg.sessions;
+            let per_session = cfg.queries_per_session;
+            std::thread::spawn(move || {
+                while next_session.fetch_add(1, Ordering::Relaxed) < total {
+                    let session = svc.connect();
+                    for i in 0..per_session {
+                        let plan = &plans[i % plans.len()];
+                        session.submit(plan).expect("churn submission succeeds");
+                    }
+                    session.close();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("churn thread panicked");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    assert!(svc.engine().active_queries().is_empty(), "census must drain after churn");
+    let stats = svc.stats();
+    ChurnReport {
+        sessions: cfg.sessions,
+        queries: stats.queries,
+        elapsed_ms,
+        result_cache_hits: stats.result_cache_hits,
+        result_cache_misses: stats.result_cache_misses,
+        plan_cache_hits: stats.plan_cache_hits,
+    }
+}
+
+struct StageReport {
+    clients: usize,
+    mean_response_ms: f64,
+    mean_admit_dop: f64,
+    regrants: u64,
+}
+
+/// Fig. 16-style staged departure: a cohort of clients submits concurrently,
+/// then half depart, and the survivors submit again — repeated until one
+/// client remains. Per stage we record the mean response time and the mean
+/// reservation-phase DOP grant from `dop_timeline`, the series the unified
+/// census is supposed to move together: fewer clients, larger grants,
+/// shorter responses.
+fn run_staged_departure(cfg: &ServiceBenchConfig) -> Vec<StageReport> {
+    let svc = service(cfg);
+    // The result cache would answer repeats instantly; this experiment
+    // measures execution, so every submission must run.
+    let plan = Arc::new(query_mix(&svc)[0].clone());
+    let mut sessions: Vec<_> = (0..cfg.departure_clients.max(1)).map(|_| svc.connect()).collect();
+    let mut stages = Vec::new();
+    while !sessions.is_empty() {
+        svc.invalidate_results();
+        let threads: Vec<_> = sessions
+            .iter()
+            .map(|session| {
+                let session = session.clone();
+                let plan = Arc::clone(&plan);
+                let reps = cfg.submissions_per_stage;
+                std::thread::spawn(move || {
+                    let mut response_ms = 0.0;
+                    let mut admit_dop = 0usize;
+                    let mut regrants = 0u64;
+                    let mut executed = 0usize;
+                    for _ in 0..reps {
+                        let start = Instant::now();
+                        let response = session.submit(&plan).expect("stage submission succeeds");
+                        response_ms += start.elapsed().as_secs_f64() * 1_000.0;
+                        if let Some(profile) = response.profile {
+                            executed += 1;
+                            admit_dop += profile
+                                .dop_timeline
+                                .iter()
+                                .find(|e| e.phase == DopPhase::Reserve)
+                                .map_or(0, |e| e.dop);
+                            regrants += u64::from(profile.dop_was_regranted());
+                        }
+                    }
+                    (response_ms, admit_dop, regrants, executed)
+                })
+            })
+            .collect();
+        let mut total_ms = 0.0;
+        let mut total_dop = 0usize;
+        let mut total_regrants = 0u64;
+        let mut total_executed = 0usize;
+        for t in threads {
+            let (ms, dop, regrants, executed) = t.join().expect("stage thread panicked");
+            total_ms += ms;
+            total_dop += dop;
+            total_regrants += regrants;
+            total_executed += executed;
+        }
+        let submissions = (sessions.len() * cfg.submissions_per_stage).max(1);
+        stages.push(StageReport {
+            clients: sessions.len(),
+            mean_response_ms: total_ms / submissions as f64,
+            mean_admit_dop: total_dop as f64 / total_executed.max(1) as f64,
+            regrants: total_regrants,
+        });
+        // Half the cohort departs (sessions close on drop).
+        let survivors = sessions.len() / 2;
+        sessions.truncate(survivors);
+    }
+    stages
+}
+
+/// Runs the full benchmark, returning the report as a JSON string.
+pub fn run(cfg: &ServiceBenchConfig) -> String {
+    let churn = run_churn(cfg);
+    let stages = run_staged_departure(cfg);
+    let stage_rows: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "      {{ \"clients\": {}, \"mean_response_ms\": {:.3}, \"mean_admit_dop\": {:.2}, \"regrants\": {} }}",
+                s.clients, s.mean_response_ms, s.mean_admit_dop, s.regrants
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"service\",\n  \"mode\": \"{mode}\",\n  \"config\": {{ \"sessions\": {sessions}, \"queries_per_session\": {qps}, \"churn_threads\": {threads}, \"departure_clients\": {clients}, \"submissions_per_stage\": {per_stage}, \"workers\": {workers}, \"tpch_sf\": {sf} }},\n  \"client_churn\": {{\n    \"sessions\": {churn_sessions},\n    \"queries\": {queries},\n    \"elapsed_ms\": {elapsed:.3},\n    \"throughput_qps\": {qps_rate:.1},\n    \"sessions_per_sec\": {sps:.1},\n    \"result_cache_hits\": {hits},\n    \"result_cache_misses\": {misses},\n    \"plan_cache_hits\": {plan_hits}\n  }},\n  \"staged_departure\": {{\n    \"stages\": [\n{stages}\n    ]\n  }}\n}}\n",
+        mode = cfg.mode,
+        sessions = cfg.sessions,
+        qps = cfg.queries_per_session,
+        threads = cfg.churn_threads,
+        clients = cfg.departure_clients,
+        per_stage = cfg.submissions_per_stage,
+        workers = cfg.workers,
+        sf = cfg.tpch_sf,
+        churn_sessions = churn.sessions,
+        queries = churn.queries,
+        elapsed = churn.elapsed_ms,
+        qps_rate = churn.queries as f64 / (churn.elapsed_ms / 1_000.0).max(f64::EPSILON),
+        sps = churn.sessions as f64 / (churn.elapsed_ms / 1_000.0).max(f64::EPSILON),
+        hits = churn.result_cache_hits,
+        misses = churn.result_cache_misses,
+        plan_hits = churn.plan_cache_hits,
+        stages = stage_rows.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_well_formed_report() {
+        let json = run(&ServiceBenchConfig::smoke());
+        for key in [
+            "\"bench\": \"service\"",
+            "\"mode\": \"smoke\"",
+            "client_churn",
+            "throughput_qps",
+            "result_cache_hits",
+            "staged_departure",
+            "mean_response_ms",
+            "mean_admit_dop",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON parser in the dependency set.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_departure_grants_grow_as_clients_leave() {
+        let stages = run_staged_departure(&ServiceBenchConfig::smoke());
+        assert_eq!(stages.len(), 3, "4 -> 2 -> 1 clients");
+        assert_eq!(stages.last().unwrap().clients, 1);
+        // A lone client's reservation-phase grant is the whole pool; the
+        // crowded first stage admitted at a smaller share.
+        assert!(
+            stages.last().unwrap().mean_admit_dop >= stages[0].mean_admit_dop,
+            "admit grants must not shrink as the census empties"
+        );
+    }
+}

@@ -198,6 +198,25 @@ impl TickReport {
     }
 }
 
+/// The census predicate: is this query governed by the elastic-DOP lever?
+/// Governed queries hold a nonzero admitted-DOP cap and are not cancelled.
+///
+/// This is the *single* definition used both by controller ticks
+/// ([`ResourceController::tick`] over [`crate::Engine::active_queries`]) and
+/// by admit-time share computation ([`crate::Engine::reserve_admitted`]), so
+/// a reservation's admit-time grant and the next tick's re-grant are
+/// computed over the same population — the unified census.
+pub(crate) fn is_governed(handle: &QueryHandle) -> bool {
+    handle.admitted_dop() > 0 && !handle.is_cancelled()
+}
+
+/// The equal-share DOP target for a pool of `total` slots split across
+/// `n_governed` governed queries (shared by admit-time grants and tick
+/// re-grants).
+pub(crate) fn equal_share(total: usize, n_governed: usize) -> usize {
+    (total / n_governed.max(1)).max(1)
+}
+
 /// Per-query cumulative-signal snapshot from the previous tick, so each
 /// tick works on the interval's delta.
 #[derive(Debug, Default, Clone, Copy)]
@@ -242,7 +261,7 @@ impl ResourceController {
         let dop_changes = if self.config.elastic_dop {
             self.rebalance_dop(active, &mut governed)
         } else {
-            governed = active.iter().filter(|h| h.admitted_dop() > 0 && !h.is_cancelled()).count();
+            governed = active.iter().filter(|h| is_governed(h)).count();
             0
         };
         let morsel_changes = if self.config.adaptive_morsels {
@@ -257,14 +276,13 @@ impl ResourceController {
     /// not cancelled) each get `max(1, total / n_governed)`; writes only on
     /// change, so an unchanged population produces no timeline noise.
     fn rebalance_dop(&self, active: &[Arc<QueryHandle>], governed_out: &mut usize) -> usize {
-        let governed: Vec<&Arc<QueryHandle>> =
-            active.iter().filter(|h| h.admitted_dop() > 0 && !h.is_cancelled()).collect();
+        let governed: Vec<&Arc<QueryHandle>> = active.iter().filter(|h| is_governed(h)).collect();
         *governed_out = governed.len();
         if governed.is_empty() {
             return 0;
         }
         let total = if self.config.total_dop == 0 { self.n_workers } else { self.config.total_dop };
-        let target = (total / governed.len()).max(1);
+        let target = equal_share(total, governed.len());
         let mut changes = 0;
         for handle in governed {
             if handle.admitted_dop() != target {

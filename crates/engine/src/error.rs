@@ -34,6 +34,9 @@ pub enum EngineError {
     EngineShutDown,
     /// The query's handle was cancelled before it finished.
     Cancelled,
+    /// A submission was made on a closed service session
+    /// ([`crate::service::Session`]).
+    SessionClosed,
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +52,7 @@ impl fmt::Display for EngineError {
             EngineError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             EngineError::EngineShutDown => write!(f, "engine has been shut down"),
             EngineError::Cancelled => write!(f, "query was cancelled"),
+            EngineError::SessionClosed => write!(f, "session is closed"),
         }
     }
 }
@@ -91,5 +95,6 @@ mod tests {
         assert!(e.to_string().contains("node 3"));
         assert!(EngineError::EngineShutDown.to_string().contains("shut down"));
         assert!(EngineError::Cancelled.to_string().contains("cancelled"));
+        assert!(EngineError::SessionClosed.to_string().contains("session"));
     }
 }

@@ -20,7 +20,7 @@
 //! times are recorded in the profile so downstream consumers can tell
 //! operator cost from scheduler interference.
 
-use std::collections::HashMap;
+use std::collections::{hash_map, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -32,7 +32,9 @@ use apq_columnar::partition::RowRange;
 use apq_columnar::Catalog;
 
 use crate::chunk::{Chunk, QueryOutput};
-use crate::controller::{ControllerConfig, ResourceController, TickReport};
+use crate::controller::{
+    equal_share, is_governed, ControllerConfig, ResourceController, TickReport,
+};
 use crate::error::{EngineError, Result};
 use crate::interpreter::{exchange_union, execute_node, slice_part};
 use crate::noise::{NoiseConfig, NoiseInjector};
@@ -40,7 +42,7 @@ use crate::pipeline::{
     morsel_count, ExecutionMode, Pipeline, PipelinePlan, PipelineSource, Step, DEFAULT_MORSEL_ROWS,
 };
 use crate::plan::{NodeId, OperatorSpec, Plan};
-use crate::profiler::{OperatorProfile, PipelineProfile, QueryProfile};
+use crate::profiler::{DopPhase, OperatorProfile, PipelineProfile, QueryProfile};
 use crate::scheduler::{
     QueryHandle, Scheduler, SchedulerPolicy, SchedulerStats, Task, TaskContext,
 };
@@ -152,6 +154,49 @@ pub struct QueryExecution {
     pub output: QueryOutput,
     /// Per-operator and per-query performance data.
     pub profile: QueryProfile,
+}
+
+/// A census reservation: a [`QueryHandle`] registered in the engine's
+/// live-query registry *before* submission ([`Engine::reserve_query`] /
+/// [`Engine::reserve_admitted`]), so the elastic controller counts the
+/// pending client from issue time — a ticket *is* a registry entry, not a
+/// side counter.
+///
+/// Dropping the reservation releases the census slot (and with it the
+/// query's claim on future DOP shares). The reservation does not cancel a
+/// submission already in flight — cancellation stays with
+/// [`QueryHandle::cancel`].
+pub struct ReservedQuery {
+    handle: Arc<QueryHandle>,
+    registry: Arc<Mutex<HashMap<u64, Arc<QueryHandle>>>>,
+}
+
+impl ReservedQuery {
+    /// The reservation's query handle — pass it to
+    /// [`Engine::execute_with_handle`] to submit under this census slot.
+    pub fn handle(&self) -> Arc<QueryHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Engine-assigned query id of the reserved slot.
+    pub fn id(&self) -> u64 {
+        self.handle.id()
+    }
+}
+
+impl std::fmt::Debug for ReservedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReservedQuery")
+            .field("id", &self.handle.id())
+            .field("admitted_dop", &self.handle.admitted_dop())
+            .finish()
+    }
+}
+
+impl Drop for ReservedQuery {
+    fn drop(&mut self) {
+        self.registry.lock().remove(&self.handle.id());
+    }
 }
 
 /// The shared execution engine (worker pool + pluggable task scheduler).
@@ -308,6 +353,64 @@ impl Engine {
         Arc::new(QueryHandle::new(id, options.priority, options.admitted_dop))
     }
 
+    /// Reserves a census slot for a query *before* it is submitted: the
+    /// returned reservation's handle enters the live-query registry
+    /// immediately, so [`Engine::active_queries`] and controller ticks count
+    /// it from issue time. This is the unified-census replacement for
+    /// side-table admission tickets (the baselines crate's
+    /// `AdmissionController` keeps its own active counter — a second census
+    /// the controller's ticks cannot see).
+    ///
+    /// The reservation is RAII: dropping it removes the handle from the
+    /// registry. Executing via [`Engine::execute_with_handle`] with the
+    /// reservation's handle records a [`DopPhase::Submit`] timeline event
+    /// and leaves registration to the reservation — the slot stays held
+    /// across repeated submissions until the client drops it.
+    pub fn reserve_query(&self, options: QueryOptions) -> ReservedQuery {
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(QueryHandle::with_phase(
+            id,
+            options.priority,
+            options.admitted_dop,
+            DopPhase::Reserve,
+        ));
+        self.registry.lock().insert(id, Arc::clone(&handle));
+        ReservedQuery { handle, registry: Arc::clone(&self.registry) }
+    }
+
+    /// Reserves a census slot with an *admission-controlled* DOP grant: the
+    /// equal share `max(1, total_dop / n_governed)` over the governed
+    /// population, counted and granted under one registry lock — the same
+    /// census snapshot the elastic controller's ticks rebalance over, so
+    /// the admit-time target and the next re-grant target can never
+    /// disagree about who is present. `total_dop == 0` means the engine's
+    /// worker count.
+    ///
+    /// ```
+    /// use apq_engine::Engine;
+    ///
+    /// let engine = Engine::with_workers(4);
+    /// let first = engine.reserve_admitted(0, 4);
+    /// assert_eq!(first.handle().admitted_dop(), 4); // alone: whole pool
+    /// let second = engine.reserve_admitted(0, 4);
+    /// assert_eq!(second.handle().admitted_dop(), 2); // equal share of 2
+    /// // Both are census-visible before any submission:
+    /// assert_eq!(engine.active_queries().len(), 2);
+    /// drop(first);
+    /// assert_eq!(engine.active_queries().len(), 1);
+    /// ```
+    pub fn reserve_admitted(&self, priority: u8, total_dop: usize) -> ReservedQuery {
+        let total = if total_dop == 0 { self.config.n_workers } else { total_dop };
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        let mut registry = self.registry.lock();
+        let n_governed = registry.values().filter(|h| is_governed(h)).count() + 1;
+        let target = equal_share(total, n_governed);
+        let handle = Arc::new(QueryHandle::with_phase(id, priority, target, DopPhase::Reserve));
+        registry.insert(id, Arc::clone(&handle));
+        drop(registry);
+        ReservedQuery { handle, registry: Arc::clone(&self.registry) }
+    }
+
     /// Executes a plan against a catalog, blocking until the result is ready.
     ///
     /// May be called concurrently from many client threads; all queries share
@@ -398,17 +501,39 @@ impl Engine {
         // the execution, so controller ticks see it. The guard keeps the
         // registry consistent on every exit path; a re-grant racing query
         // completion at worst writes to a handle nobody reads anymore.
-        self.registry.lock().insert(handle.id(), Arc::clone(&handle));
+        //
+        // A handle that is *already* registered is a census reservation
+        // ([`Engine::reserve_admitted`]): it entered the registry at issue
+        // time and its [`ReservedQuery`] owns the removal, so the guard must
+        // not unregister it here — the reservation stays census-visible
+        // until the client drops it, even across repeated submissions.
+        let reserved = {
+            let mut registry = self.registry.lock();
+            match registry.entry(handle.id()) {
+                hash_map::Entry::Occupied(_) => true,
+                hash_map::Entry::Vacant(slot) => {
+                    slot.insert(Arc::clone(&handle));
+                    false
+                }
+            }
+        };
+        if reserved {
+            handle.mark_submitted();
+        }
         struct RegistryGuard<'a> {
             registry: &'a Mutex<HashMap<u64, Arc<QueryHandle>>>,
             id: u64,
+            owned: bool,
         }
         impl Drop for RegistryGuard<'_> {
             fn drop(&mut self) {
-                self.registry.lock().remove(&self.id);
+                if self.owned {
+                    self.registry.lock().remove(&self.id);
+                }
             }
         }
-        let _registered = RegistryGuard { registry: &self.registry, id: handle.id() };
+        let _registered =
+            RegistryGuard { registry: &self.registry, id: handle.id(), owned: !reserved };
 
         if self.config.execution_mode == ExecutionMode::MorselDriven {
             return self.execute_morsel_driven(plan, catalog, handle, concurrent_peers);

@@ -26,7 +26,11 @@
 //! * [`profiler`] — per-operator execution feedback (time, worker, memory
 //!   claim) and query-level multi-core-utilization metrics;
 //! * [`noise`] — reproducible synthetic OS-noise injection for the
-//!   convergence-robustness experiments.
+//!   convergence-robustness experiments;
+//! * [`service`] — the long-lived production query service: sessions with
+//!   per-session submission queues, unified admission (a ticket *is* a
+//!   registry reservation, one census with the controller) and shared
+//!   plan/result caches ([`QueryService`], [`Session`]).
 
 #![warn(missing_docs)]
 
@@ -40,13 +44,15 @@ pub mod pipeline;
 pub mod plan;
 pub mod profiler;
 pub mod scheduler;
+pub mod service;
 
 pub use chunk::{Chunk, JoinView, OidsView, QueryOutput};
 pub use controller::{ControllerConfig, TickReport};
 pub use error::{EngineError, Result};
-pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions};
+pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions, ReservedQuery};
 pub use noise::{NoiseConfig, NoiseInjector};
 pub use pipeline::{ExecutionMode, DEFAULT_MORSEL_ROWS};
 pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};
-pub use profiler::{DopEvent, OperatorProfile, PipelineProfile, QueryProfile};
+pub use profiler::{DopEvent, DopPhase, OperatorProfile, PipelineProfile, QueryProfile};
 pub use scheduler::{QueryHandle, QuerySignals, SchedulerPolicy, SchedulerStats, WorkerStats};
+pub use service::{QueryService, ServiceConfig, ServiceResponse, ServiceStats, Session};

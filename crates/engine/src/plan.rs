@@ -400,6 +400,40 @@ impl Plan {
         Ok(())
     }
 
+    /// Canonical structural signature of the plan: every live node's full
+    /// operator spec and input wiring plus the root marker, in id order.
+    /// Plans that build the same DAG the same way produce equal signatures;
+    /// the encoding includes every operator parameter (predicate constants,
+    /// scan ranges), so "same shape, different constants" never collides.
+    /// This is the cache key of the service layer's shared plan and result
+    /// caches ([`crate::service`]).
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for id in self.node_ids() {
+            let node = self.node(id).expect("live node");
+            let _ = write!(out, "{id}:{:?}<-{:?};", node.spec, node.inputs);
+        }
+        let _ = write!(out, "root={:?}", self.root);
+        out
+    }
+
+    /// Names of the tables the plan reads ([`OperatorSpec::ScanColumn`]
+    /// sources), deduplicated and sorted — the invalidation key set of the
+    /// service layer's result cache ([`crate::service`]).
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut tables: Vec<String> = self
+            .node_ids()
+            .into_iter()
+            .filter_map(|id| match &self.node(id).expect("live node").spec {
+                OperatorSpec::ScanColumn { table, .. } => Some(table.clone()),
+                _ => None,
+            })
+            .collect();
+        tables.sort();
+        tables.dedup();
+        tables
+    }
+
     /// Counts live operators per family name (e.g. `select`, `join`, `union`).
     pub fn count_by_name(&self) -> HashMap<&'static str, usize> {
         let mut out = HashMap::new();

@@ -47,11 +47,39 @@ pub struct OperatorProfile {
     pub bytes_out: usize,
 }
 
+/// Which lifecycle step produced a [`DopEvent`].
+///
+/// The reservation phases ([`DopPhase::Reserve`], [`DopPhase::Submit`])
+/// only appear for queries admitted through the unified census path
+/// ([`crate::Engine::reserve_admitted`] / the service layer in
+/// [`crate::service`]): a reservation enters the live-query registry at
+/// *issue* time, so its grant and the gap until submission are both
+/// visible in the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DopPhase {
+    /// Admit-time grant of a directly registered query
+    /// ([`crate::Engine::register_query`]); always at offset 0.
+    Admit,
+    /// Admit-time grant of a *reservation*: the query is census-visible
+    /// (counted by controller ticks) but not yet submitted; always at
+    /// offset 0.
+    Reserve,
+    /// A reserved query began executing (`execute_with_handle` on the
+    /// pre-registered handle). Records the grant in force at submission —
+    /// the `at_us` gap from the `Reserve` event is the reservation-held
+    /// window.
+    Submit,
+    /// Mid-flight re-grant or claw-back via
+    /// [`crate::QueryHandle::set_admitted_dop`] — made by the client or by
+    /// the elastic resource controller ([`crate::controller`]).
+    Regrant,
+}
+
 /// One point of a query's admitted-DOP timeline: the degree of parallelism
 /// granted at a moment of the query's life. The first event (offset 0) is
-/// the admit-time grant; later events are mid-flight re-grants/claw-backs
-/// via [`crate::QueryHandle::set_admitted_dop`] — made by the client or by
-/// the elastic resource controller ([`crate::controller`]).
+/// the admit-time grant ([`DopPhase::Admit`] or [`DopPhase::Reserve`]);
+/// later events are submissions of reservations ([`DopPhase::Submit`]) and
+/// mid-flight re-grants/claw-backs ([`DopPhase::Regrant`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DopEvent {
     /// Microseconds since the query handle was created.
@@ -59,6 +87,8 @@ pub struct DopEvent {
     /// The admitted degree of parallelism from this point on (`0` =
     /// unlimited).
     pub dop: usize,
+    /// Which lifecycle step recorded this event.
+    pub phase: DopPhase,
 }
 
 /// Profile of one fused pipeline executed in morsel-driven mode
@@ -197,14 +227,18 @@ impl QueryProfile {
     }
 
     /// True when the admitted DOP was raised after the admit-time grant —
-    /// i.e. the query received a mid-flight elastic re-grant. A later grant
-    /// of `0` (unlimited) counts as a raise; a query *admitted* unlimited
-    /// has nothing to re-grant and always returns `false`.
+    /// i.e. the query received a mid-flight elastic re-grant
+    /// ([`DopPhase::Regrant`]; `Submit` events only restate the standing
+    /// grant). A later grant of `0` (unlimited) counts as a raise; a query
+    /// *admitted* unlimited has nothing to re-grant and always returns
+    /// `false`.
     pub fn dop_was_regranted(&self) -> bool {
         match self.dop_timeline.first() {
-            Some(initial) if initial.dop > 0 => {
-                self.dop_timeline.iter().skip(1).any(|e| e.dop == 0 || e.dop > initial.dop)
-            }
+            Some(initial) if initial.dop > 0 => self
+                .dop_timeline
+                .iter()
+                .skip(1)
+                .any(|e| e.phase == DopPhase::Regrant && (e.dop == 0 || e.dop > initial.dop)),
             _ => false,
         }
     }
@@ -348,7 +382,7 @@ mod tests {
                 op(4, "aggregate", 650, 200, 0),
             ],
             pipelines: vec![],
-            dop_timeline: vec![DopEvent { at_us: 0, dop: 2 }],
+            dop_timeline: vec![DopEvent { at_us: 0, dop: 2, phase: DopPhase::Admit }],
         }
     }
 
@@ -440,19 +474,31 @@ mod tests {
         // Initial grant only: no re-grant.
         assert!(!p.dop_was_regranted());
         // Claw-back below the initial grant: still no re-grant.
-        p.dop_timeline.push(DopEvent { at_us: 10, dop: 1 });
+        p.dop_timeline.push(DopEvent { at_us: 10, dop: 1, phase: DopPhase::Regrant });
         assert!(!p.dop_was_regranted());
         // A raise above the admit-time grant is a re-grant.
-        p.dop_timeline.push(DopEvent { at_us: 20, dop: 4 });
+        p.dop_timeline.push(DopEvent { at_us: 20, dop: 4, phase: DopPhase::Regrant });
         assert!(p.dop_was_regranted());
         // A later grant of "unlimited" also counts.
         let mut q = sample();
-        q.dop_timeline.push(DopEvent { at_us: 5, dop: 0 });
+        q.dop_timeline.push(DopEvent { at_us: 5, dop: 0, phase: DopPhase::Regrant });
         assert!(q.dop_was_regranted());
         // Queries admitted unlimited have nothing to re-grant.
         let mut r = sample();
-        r.dop_timeline = vec![DopEvent { at_us: 0, dop: 0 }, DopEvent { at_us: 9, dop: 8 }];
+        r.dop_timeline = vec![
+            DopEvent { at_us: 0, dop: 0, phase: DopPhase::Admit },
+            DopEvent { at_us: 9, dop: 8, phase: DopPhase::Regrant },
+        ];
         assert!(!r.dop_was_regranted());
+        // A reservation's Submit event restates the standing grant; on its
+        // own it is not a re-grant even when the submitted dop is higher
+        // (that raise was already visible as a Regrant or never happened).
+        let mut s = sample();
+        s.dop_timeline = vec![
+            DopEvent { at_us: 0, dop: 2, phase: DopPhase::Reserve },
+            DopEvent { at_us: 7, dop: 4, phase: DopPhase::Submit },
+        ];
+        assert!(!s.dop_was_regranted());
     }
 
     #[test]

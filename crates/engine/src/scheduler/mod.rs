@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::profiler::DopEvent;
+use crate::profiler::{DopEvent, DopPhase};
 
 /// Which scheduling policy an engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +113,13 @@ pub struct QueryHandle {
 impl QueryHandle {
     /// Creates a handle. `admitted_dop == 0` means "no per-query cap".
     pub(crate) fn new(id: u64, priority: u8, admitted_dop: usize) -> Self {
+        QueryHandle::with_phase(id, priority, admitted_dop, DopPhase::Admit)
+    }
+
+    /// Creates a handle whose initial timeline event carries `phase` —
+    /// [`DopPhase::Reserve`] for census reservations
+    /// ([`crate::Engine::reserve_admitted`]), [`DopPhase::Admit`] otherwise.
+    pub(crate) fn with_phase(id: u64, priority: u8, admitted_dop: usize, phase: DopPhase) -> Self {
         QueryHandle {
             id,
             priority,
@@ -120,12 +127,25 @@ impl QueryHandle {
             cancelled: AtomicBool::new(false),
             running: AtomicUsize::new(0),
             created: Instant::now(),
-            dop_events: Mutex::new(vec![DopEvent { at_us: 0, dop: admitted_dop }]),
+            dop_events: Mutex::new(vec![DopEvent { at_us: 0, dop: admitted_dop, phase }]),
             morsel_rows: AtomicUsize::new(0),
             queue_wait_us: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
         }
+    }
+
+    /// Records the submission of a reserved query: appends a
+    /// [`DopPhase::Submit`] event restating the grant currently in force,
+    /// closing the reservation-held window in the timeline.
+    pub(crate) fn mark_submitted(&self) {
+        let mut events = self.dop_events.lock();
+        let dop = self.admitted_dop.load(Ordering::Acquire);
+        events.push(DopEvent {
+            at_us: self.created.elapsed().as_micros() as u64,
+            dop,
+            phase: DopPhase::Submit,
+        });
     }
 
     /// Engine-assigned query id (unique per engine instance).
@@ -178,7 +198,11 @@ impl QueryHandle {
         // timeline ending on a different value than the live cap.
         let mut events = self.dop_events.lock();
         self.admitted_dop.store(dop, Ordering::Release);
-        events.push(DopEvent { at_us: self.created.elapsed().as_micros() as u64, dop });
+        events.push(DopEvent {
+            at_us: self.created.elapsed().as_micros() as u64,
+            dop,
+            phase: DopPhase::Regrant,
+        });
     }
 
     /// The admitted-DOP change history: the initial grant (at offset 0) plus

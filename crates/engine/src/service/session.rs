@@ -1,0 +1,260 @@
+//! Session handles: per-client submission queues over the shared service.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{EngineError, Result};
+use crate::executor::QueryOptions;
+use crate::plan::Plan;
+use crate::scheduler::QueryHandle;
+
+use super::{ServiceInner, ServiceResponse};
+
+/// Ticket state of a session's FIFO submission queue.
+#[derive(Default)]
+struct SubmissionQueue {
+    next_ticket: u64,
+    now_serving: u64,
+}
+
+/// State shared by all clones of one session.
+struct SessionInner {
+    service: Arc<ServiceInner>,
+    id: u64,
+    priority: u8,
+    closed: AtomicBool,
+    queue: Mutex<SubmissionQueue>,
+    turn: Condvar,
+    /// Handles of this session's queries currently inside the engine, so
+    /// [`Session::close`] can cancel them mid-flight.
+    live: Mutex<Vec<Arc<QueryHandle>>>,
+}
+
+impl SessionInner {
+    /// Waits for this submission's turn in the session queue. The returned
+    /// guard serves the next ticket on drop (success and error paths
+    /// alike), so a closed session drains its waiters instead of stranding
+    /// them.
+    fn acquire_turn(&self) -> Result<TurnGuard<'_>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(EngineError::SessionClosed);
+        }
+        let mut queue = self.queue.lock();
+        let ticket = queue.next_ticket;
+        queue.next_ticket += 1;
+        while queue.now_serving != ticket {
+            self.turn.wait(&mut queue);
+        }
+        drop(queue);
+        let guard = TurnGuard { inner: self };
+        if self.closed.load(Ordering::Acquire) {
+            return Err(EngineError::SessionClosed);
+        }
+        Ok(guard)
+    }
+
+    fn track(&self, handle: Arc<QueryHandle>) {
+        self.live.lock().push(handle);
+    }
+
+    fn untrack(&self, id: u64) {
+        self.live.lock().retain(|h| h.id() != id);
+    }
+
+    fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for handle in self.live.lock().iter() {
+            handle.cancel();
+        }
+        self.turn.notify_all();
+        self.service.count_session_closed();
+    }
+}
+
+impl Drop for SessionInner {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Advances the session queue to the next ticket when a submission leaves
+/// the critical section (normally or on error).
+struct TurnGuard<'a> {
+    inner: &'a SessionInner,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        let mut queue = self.inner.queue.lock();
+        queue.now_serving += 1;
+        drop(queue);
+        self.inner.turn.notify_all();
+    }
+}
+
+/// A client's connection to a [`super::QueryService`].
+///
+/// Cloning is cheap; clones share the session's FIFO submission queue
+/// (submissions serialize in arrival order), priority, and close state.
+/// Dropping the last clone closes the session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use apq_columnar::{partition::RowRange, Catalog, ScalarValue, TableBuilder};
+/// use apq_engine::plan::{OperatorSpec, Plan};
+/// use apq_engine::{EngineError, QueryOutput, QueryService, ServiceConfig};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(
+///     TableBuilder::new("t").i64_column("v", vec![7, 8]).build()?,
+/// );
+/// let service = QueryService::new(ServiceConfig::default(), Arc::new(catalog));
+/// let session = service.connect();
+///
+/// // `SELECT sum(v) FROM t` as a two-node plan.
+/// let mut plan = Plan::new();
+/// let scan = plan.add(
+///     OperatorSpec::ScanColumn {
+///         table: "t".into(),
+///         column: "v".into(),
+///         range: RowRange::new(0, 2),
+///     },
+///     vec![],
+/// );
+/// let agg = plan.add(OperatorSpec::ScalarAgg { func: apq_operators::AggFunc::Sum }, vec![scan]);
+/// let fin = plan.add(
+///     OperatorSpec::FinalizeAgg { func: apq_operators::AggFunc::Sum },
+///     vec![agg],
+/// );
+/// plan.set_root(fin);
+///
+/// let response = session.submit(&plan)?;
+/// assert_eq!(response.output, QueryOutput::Scalar(ScalarValue::I64(15)));
+///
+/// // Closed sessions reject further submissions.
+/// session.close();
+/// assert_eq!(session.submit(&plan).unwrap_err(), EngineError::SessionClosed);
+/// # Ok::<(), EngineError>(())
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.inner.id)
+            .field("priority", &self.inner.priority)
+            .field("closed", &self.inner.closed.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn open(service: Arc<ServiceInner>, id: u64, priority: u8) -> Self {
+        Session {
+            inner: Arc::new(SessionInner {
+                service,
+                id,
+                priority,
+                closed: AtomicBool::new(false),
+                queue: Mutex::new(SubmissionQueue::default()),
+                turn: Condvar::new(),
+                live: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Service-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The session's scheduling priority.
+    pub fn priority(&self) -> u8 {
+        self.inner.priority
+    }
+
+    /// True once the session was closed (explicitly or by drop of the last
+    /// clone).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Submits a plan through the session, blocking until the result is
+    /// ready (or served from the result cache). Submissions of one session
+    /// run one at a time in arrival order; concurrency comes from many
+    /// sessions, which is what the admission census governs.
+    ///
+    /// Errors with [`EngineError::SessionClosed`] once the session is
+    /// closed; a close racing a running submission cancels it mid-flight
+    /// ([`EngineError::Cancelled`]).
+    pub fn submit(&self, plan: &Plan) -> Result<ServiceResponse> {
+        let inner = &*self.inner;
+        let service = &inner.service;
+        let _turn = inner.acquire_turn()?;
+        service.count_query();
+
+        let signature = plan.signature();
+        if let Some(output) = service.result_cache.get(&signature) {
+            service.count_result_cache(true);
+            return Ok(ServiceResponse {
+                output,
+                profile: None,
+                plan_cache_hit: false,
+                result_cache_hit: true,
+            });
+        }
+        service.count_result_cache(false);
+
+        let (shared, plan_cache_hit) = service.plan_cache.get_or_insert(&signature, plan);
+        service.count_plan_cache(plan_cache_hit);
+
+        let catalog = service.catalog();
+        let execution = if service.config.admission {
+            // Unified admission: the reservation is the ticket AND the
+            // census entry; it is held (registry-visible) until the
+            // submission finishes, then dropped.
+            let reservation =
+                service.engine.reserve_admitted(inner.priority, service.config.total_dop);
+            let handle = reservation.handle();
+            inner.track(Arc::clone(&handle));
+            let result = service.engine.execute_with_handle(&shared, &catalog, handle);
+            inner.untrack(reservation.id());
+            result?
+        } else {
+            let handle = service
+                .engine
+                .register_query(QueryOptions { priority: inner.priority, admitted_dop: 0 });
+            inner.track(Arc::clone(&handle));
+            let id = handle.id();
+            let result = service.engine.execute_with_handle(&shared, &catalog, handle);
+            inner.untrack(id);
+            result?
+        };
+
+        service.result_cache.insert(
+            signature,
+            execution.output.clone(),
+            shared.referenced_tables(),
+        );
+        Ok(ServiceResponse {
+            output: execution.output,
+            profile: Some(execution.profile),
+            plan_cache_hit,
+            result_cache_hit: false,
+        })
+    }
+
+    /// Closes the session: cancels its in-flight queries and makes every
+    /// later (and queued) submission fail with
+    /// [`EngineError::SessionClosed`]. Idempotent.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+}

@@ -1,0 +1,188 @@
+//! Unified-census regression tests: a ticket *is* a registry reservation.
+//!
+//! **The pre-PR double census these tests pin against.** Admission used to
+//! live only in the baselines crate's `AdmissionController`, which counted
+//! active clients in its own `AtomicUsize`, while the engine's live-query
+//! registry gained an entry only inside `execute_with_handle`. A client
+//! holding a ticket but *not yet submitted* was therefore invisible to
+//! [`Engine::active_queries`] and to controller ticks, and the two
+//! censuses disagreed for the whole ticket-held window:
+//!
+//! * `reservation_is_census_visible_before_submission` fails against that
+//!   design at its first assertion — `active_queries()` was empty until
+//!   submission, no matter how many tickets were outstanding.
+//! * `admit_and_regrant_targets_agree_during_submission_delay` fails
+//!   against that design because a controller tick taken inside the
+//!   disagreement window saw only the *submitted* queries: with one query
+//!   running and one ticket held, the tick counted 1 governed query and
+//!   re-granted the runner the whole pool (`total/1`) at the same moment
+//!   the admission layer had computed the ticket holder's grant as
+//!   `total/2` — two targets from two populations. With the unified
+//!   census both targets are `max(1, total/2)` computed from the same
+//!   registry snapshot, and the disagreement window does not exist.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, ScalarValue, TableBuilder};
+use apq_engine::controller::ControllerConfig;
+use apq_engine::plan::{OperatorSpec, Plan};
+use apq_engine::{DopPhase, Engine, EngineConfig, QueryOptions, QueryOutput};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+fn catalog(rows: usize) -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("t")
+            .i64_column("a", (0..rows as i64).collect())
+            .i64_column("b", (0..rows as i64).map(|v| v * 2).collect())
+            .build()
+            .unwrap(),
+    );
+    Arc::new(c)
+}
+
+fn sum_plan(rows: usize, threshold: i64) -> Plan {
+    let mut p = Plan::new();
+    let a = p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: "a".into(),
+            range: RowRange::new(0, rows),
+        },
+        vec![],
+    );
+    let b = p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: "b".into(),
+            range: RowRange::new(0, rows),
+        },
+        vec![],
+    );
+    let sel =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+    let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+    let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+    let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    p.set_root(fin);
+    p
+}
+
+fn expected_sum(threshold: i64) -> QueryOutput {
+    QueryOutput::Scalar(ScalarValue::I64((0..threshold).map(|v| v * 2).sum()))
+}
+
+/// A dormant background thread: every tick in these tests is forced.
+fn manual_controller() -> ControllerConfig {
+    ControllerConfig::default().with_tick(Duration::from_secs(3_600)).with_adaptive_morsels(false)
+}
+
+#[test]
+fn reservation_is_census_visible_before_submission() {
+    let engine = Engine::with_workers(2);
+    assert!(engine.active_queries().is_empty());
+
+    // Issue a ticket; nothing has been submitted.
+    let reservation = engine.reserve_query(QueryOptions::with_admitted_dop(2));
+    let census = engine.active_queries();
+    assert_eq!(census.len(), 1, "a held ticket must be census-visible from issue time");
+    assert_eq!(census[0].id(), reservation.id());
+    assert_eq!(engine.in_flight_queries(), 0, "visible, but not executing");
+
+    // The initial timeline event is the reservation-phase grant.
+    let timeline = reservation.handle().dop_timeline();
+    assert_eq!(timeline.len(), 1);
+    assert_eq!(timeline[0].phase, DopPhase::Reserve);
+    assert_eq!(timeline[0].dop, 2);
+
+    // Releasing the ticket releases the census slot.
+    drop(reservation);
+    assert!(engine.active_queries().is_empty());
+}
+
+#[test]
+fn admit_and_regrant_targets_agree_during_submission_delay() {
+    let engine = Engine::new(EngineConfig::with_workers(4).with_controller(manual_controller()));
+
+    // Client A is admitted alone: the whole pool.
+    let a = engine.reserve_admitted(0, 0);
+    assert_eq!(a.handle().admitted_dop(), 4);
+
+    // Client B is admitted while A's ticket is outstanding: the equal
+    // share over the *same census* A lives in.
+    let b = engine.reserve_admitted(0, 0);
+    assert_eq!(b.handle().admitted_dop(), 2);
+
+    // The disagreement window of the old design: both tickets held, neither
+    // submitted. A tick taken now must compute its re-grant target from
+    // the same two-query population the admit targets came from — one
+    // census, one target.
+    let report = engine.controller_tick();
+    assert_eq!(report.governed, 2, "both unsubmitted tickets are counted");
+    assert_eq!(report.dop_changes, 1, "only A (admitted at 4) is clawed to the shared target");
+    assert_eq!(a.handle().admitted_dop(), 2, "tick target equals B's admit target");
+    assert_eq!(b.handle().admitted_dop(), 2, "admit grant already was the tick target");
+
+    // Idempotent: re-ticking an unchanged population writes nothing.
+    assert_eq!(engine.controller_tick().dop_changes, 0);
+
+    // A departs; the next tick re-grants B from the shrunken census.
+    drop(a);
+    let report = engine.controller_tick();
+    assert_eq!(report.governed, 1);
+    assert_eq!(report.dop_changes, 1);
+    assert_eq!(b.handle().admitted_dop(), 4);
+}
+
+#[test]
+fn reservation_stays_registered_across_repeated_submissions() {
+    let engine = Engine::with_workers(2);
+    let cat = catalog(5_000);
+    let plan = Arc::new(sum_plan(5_000, 300));
+
+    let reservation = engine.reserve_admitted(0, 0);
+    let first = engine.execute_with_handle(&plan, &cat, reservation.handle()).unwrap();
+    assert_eq!(first.output, expected_sum(300));
+    assert_eq!(
+        engine.active_queries().len(),
+        1,
+        "execution completion must not unregister a held reservation"
+    );
+
+    let second = engine.execute_with_handle(&plan, &cat, reservation.handle()).unwrap();
+    assert_eq!(second.output, first.output);
+
+    // The timeline shows the whole lifecycle: one Reserve grant, then one
+    // Submit event per execution under the ticket.
+    let phases: Vec<DopPhase> = second.profile.dop_timeline.iter().map(|e| e.phase).collect();
+    assert_eq!(phases, vec![DopPhase::Reserve, DopPhase::Submit, DopPhase::Submit]);
+
+    drop(reservation);
+    assert!(engine.active_queries().is_empty());
+}
+
+#[test]
+fn admit_targets_shrink_with_census_and_respect_explicit_pool() {
+    let engine = Engine::with_workers(2);
+    // Explicit pool of 8, independent of the worker count.
+    let reservations: Vec<_> = (0..5).map(|_| engine.reserve_admitted(0, 8)).collect();
+    let grants: Vec<usize> = reservations.iter().map(|r| r.handle().admitted_dop()).collect();
+    assert_eq!(grants, vec![8, 4, 2, 2, 1], "equal shares of 8 over a growing census");
+    assert_eq!(engine.active_queries().len(), 5);
+
+    // Uncapped and cancelled reservations are census entries but not
+    // governed: they do not shrink later admit targets.
+    drop(reservations);
+    let unlimited = engine.reserve_query(QueryOptions::default());
+    assert_eq!(unlimited.handle().admitted_dop(), 0);
+    let cancelled = engine.reserve_query(QueryOptions::with_admitted_dop(3));
+    cancelled.handle().cancel();
+    let governed = engine.reserve_admitted(0, 8);
+    assert_eq!(
+        governed.handle().admitted_dop(),
+        8,
+        "ungoverned census entries must not dilute the admit share"
+    );
+}

@@ -16,7 +16,7 @@ use std::time::Duration;
 use adaptive_parallelization::baselines::heuristic_parallelize;
 use adaptive_parallelization::engine::{
     ControllerConfig, Engine, EngineConfig, ExecutionMode, OperatorSpec, Plan, QueryOutput,
-    SchedulerPolicy,
+    QueryService, SchedulerPolicy, ServiceConfig,
 };
 use adaptive_parallelization::workloads::tpcds::{self, TpcdsQuery, TpcdsScale};
 use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
@@ -276,6 +276,49 @@ fn mismatched_aligned_input_errors_like_operator_at_a_time() {
             .expect_err("morsel mode rejects mismatched lengths")
             .to_string();
         assert_eq!(morsel_err, oat_err, "[{policy}]: error mismatch across modes");
+    }
+}
+
+#[test]
+fn service_plan_cache_hits_match_cold_execution_across_modes_and_policies() {
+    // The service layer's plan cache is a dispatch-path knob like the
+    // execution mode: a warm submission re-executes through the cached
+    // `Arc<Plan>` and must stay byte-identical to the cold run and to the
+    // direct-engine reference — across 2 policies × 2 execution modes.
+    // The result cache is disabled so the warm submission really executes.
+    let catalog = tpch::generate(TpchScale::new(0.002), 1234);
+    let reference = Engine::with_workers(WORKERS);
+    for query in TpchQuery::all() {
+        let plan = query.build(&catalog).expect("serial plan builds");
+        let expected = reference.execute(&plan, &catalog).expect("reference executes").output;
+        for policy in SchedulerPolicy::ALL {
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                let service = QueryService::new(
+                    ServiceConfig::with_engine(
+                        EngineConfig::with_workers(WORKERS)
+                            .with_scheduler(policy)
+                            .with_execution_mode(mode)
+                            .with_morsel_rows(MORSEL_ROWS),
+                    )
+                    .with_result_cache_capacity(0),
+                    Arc::clone(&catalog),
+                );
+                let session = service.connect();
+                let cold = session.submit(&plan).expect("cold submission executes");
+                assert!(!cold.plan_cache_hit);
+                assert_eq!(
+                    cold.output, expected,
+                    "{query} [{policy}/{mode:?}]: service diverged from direct engine"
+                );
+                let warm = session.submit(&plan).expect("warm submission executes");
+                assert!(warm.plan_cache_hit, "{query} [{policy}/{mode:?}]: expected a hit");
+                assert!(warm.profile.is_some(), "plan-cache hits still execute");
+                assert_eq!(
+                    warm.output, expected,
+                    "{query} [{policy}/{mode:?}]: plan-cache hit changed the result"
+                );
+            }
+        }
     }
 }
 
