@@ -9,10 +9,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use apq_engine::{
-    DopPhase, EngineConfig, ExecutionMode, Plan, QueryService, SchedulerPolicy, ServiceConfig,
+    DopPhase, EngineConfig, EngineError, ExecutionMode, FaultConfig, Plan, QueryService,
+    SchedulerPolicy, ServiceConfig,
 };
 use apq_workloads::tpch::{self, TpchQuery, TpchScale};
 
@@ -34,6 +35,18 @@ pub struct ServiceBenchConfig {
     pub workers: usize,
     /// TPC-H scale factor.
     pub tpch_sf: f64,
+    /// Sessions driving the overload experiment (mixed priorities).
+    pub overload_sessions: usize,
+    /// Concurrent submitters per overload session — everything past the
+    /// first queues, so the census fills at `sessions × (threads − 1)`.
+    pub overload_threads_per_session: usize,
+    /// Submissions attempted per overload thread.
+    pub overload_submissions: usize,
+    /// Census bound for the bounded overload run (the unbounded run
+    /// always uses 0 = unlimited).
+    pub overload_max_queued: usize,
+    /// Submissions in the fixed-seed chaos probe.
+    pub chaos_submissions: usize,
     /// Label recorded in the JSON (`"full"` / `"smoke"`).
     pub mode: &'static str,
 }
@@ -49,6 +62,11 @@ impl ServiceBenchConfig {
             submissions_per_stage: 6,
             workers: 4,
             tpch_sf: 0.02,
+            overload_sessions: 4,
+            overload_threads_per_session: 3,
+            overload_submissions: 24,
+            overload_max_queued: 4,
+            chaos_submissions: 32,
             mode: "full",
         }
     }
@@ -63,6 +81,11 @@ impl ServiceBenchConfig {
             submissions_per_stage: 2,
             workers: 2,
             tpch_sf: 0.002,
+            overload_sessions: 2,
+            overload_threads_per_session: 3,
+            overload_submissions: 6,
+            overload_max_queued: 1,
+            chaos_submissions: 8,
             mode: "smoke",
         }
     }
@@ -215,10 +238,163 @@ fn run_staged_departure(cfg: &ServiceBenchConfig) -> Vec<StageReport> {
     stages
 }
 
+struct OverloadReport {
+    max_queued: usize,
+    submissions: u64,
+    completed: u64,
+    shed: u64,
+    timed_out: u64,
+    mean_response_ms: f64,
+    p99_response_ms: f64,
+}
+
+/// Overload experiment: the submission rate deliberately exceeds capacity
+/// (every session has more concurrent submitters than turns, so the census
+/// fills), run once with an unbounded queue and once with
+/// `cfg.overload_max_queued`. The two rows contrast the trade the bound
+/// buys: shed submissions in exchange for a flatter p99, instead of
+/// everyone queueing behind everyone. Every 5th submission carries a tight
+/// deadline so the queue wait itself consumes the budget — the `timed_out`
+/// counter shows deadlines expiring *in the queue*, not in the engine.
+fn run_overload(cfg: &ServiceBenchConfig, max_queued: usize) -> OverloadReport {
+    let engine = EngineConfig {
+        // A fixed per-operator cost makes query runtime (and therefore
+        // queue pressure) deterministic instead of scale-factor noise.
+        per_operator_overhead_us: 300,
+        ..EngineConfig::with_workers(cfg.workers)
+            .with_scheduler(SchedulerPolicy::WorkStealing)
+            .with_execution_mode(ExecutionMode::MorselDriven)
+    };
+    let svc = QueryService::new(
+        ServiceConfig::with_engine(engine).with_max_queued(max_queued),
+        tpch::generate(TpchScale::new(cfg.tpch_sf), 1234),
+    );
+    let plans = Arc::new(query_mix(&svc));
+    // Mixed priorities: under a bounded census the policy sheds the
+    // lowest-priority waiters first, so the high-priority sessions keep
+    // completing while the low ones absorb the Overloaded refusals.
+    let sessions: Vec<_> = (0..cfg.overload_sessions.max(1))
+        .map(|s| svc.connect_with_priority((s % 4) as u8))
+        .collect();
+    let threads: Vec<_> = sessions
+        .iter()
+        .flat_map(|session| {
+            (0..cfg.overload_threads_per_session.max(1)).map(|_| {
+                let session = session.clone();
+                let svc = svc.clone();
+                let plans = Arc::clone(&plans);
+                let reps = cfg.overload_submissions;
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(reps);
+                    for i in 0..reps {
+                        // The result cache would answer repeats instantly;
+                        // overload needs every submission to execute.
+                        svc.invalidate_results();
+                        let plan = &plans[i % plans.len()];
+                        let start = Instant::now();
+                        let outcome = if i % 5 == 4 {
+                            session.submit_with_deadline(plan, Duration::from_micros(200))
+                        } else {
+                            session.submit(plan)
+                        };
+                        match outcome {
+                            Ok(_) => latencies.push(start.elapsed().as_secs_f64() * 1_000.0),
+                            Err(EngineError::Overloaded { retry_after_hint }) => {
+                                // Shed: honor (a capped version of) the hint
+                                // before the next attempt.
+                                std::thread::sleep(retry_after_hint.min(Duration::from_millis(2)));
+                            }
+                            Err(EngineError::DeadlineExceeded) => {}
+                            Err(err) => panic!("unexpected overload outcome: {err}"),
+                        }
+                    }
+                    latencies
+                })
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().expect("overload thread panicked"));
+    }
+    drop(sessions);
+    assert!(svc.engine().active_queries().is_empty(), "census must drain after overload");
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let completed = latencies.len() as u64;
+    let mean = latencies.iter().sum::<f64>() / (completed.max(1) as f64);
+    let p99 = latencies
+        .get(((latencies.len() as f64 * 0.99) as usize).min(latencies.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0.0);
+    let stats = svc.stats();
+    OverloadReport {
+        max_queued,
+        submissions: (cfg.overload_sessions.max(1)
+            * cfg.overload_threads_per_session.max(1)
+            * cfg.overload_submissions) as u64,
+        completed,
+        shed: stats.shed,
+        timed_out: stats.timed_out,
+        mean_response_ms: mean,
+        p99_response_ms: p99,
+    }
+}
+
+struct ChaosReport {
+    seed: u64,
+    submissions: u64,
+    ok: u64,
+    failed: u64,
+    faults_injected: u64,
+}
+
+/// Fixed-seed chaos probe: the same seed the CI chaos job pins, so the
+/// bench record carries a reproducible row of how many submissions survive
+/// the injected panics/cancels and how many faults actually fired.
+fn run_chaos_probe(cfg: &ServiceBenchConfig) -> ChaosReport {
+    // One seed from the tests/chaos_stress.rs matrix ([11, 42, 2016]).
+    const SEED: u64 = 42;
+    let svc = QueryService::new(
+        ServiceConfig::with_engine(
+            EngineConfig::with_workers(cfg.workers)
+                .with_scheduler(SchedulerPolicy::WorkStealing)
+                .with_execution_mode(ExecutionMode::MorselDriven)
+                .with_faults(FaultConfig::chaos(SEED)),
+        ),
+        tpch::generate(TpchScale::new(cfg.tpch_sf), 1234),
+    );
+    let session = svc.connect();
+    let plans = query_mix(&svc);
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for i in 0..cfg.chaos_submissions {
+        svc.invalidate_results();
+        match session.submit(&plans[i % plans.len()]) {
+            Ok(_) => ok += 1,
+            Err(
+                EngineError::Cancelled
+                | EngineError::DeadlineExceeded
+                | EngineError::WorkerPanicked(_),
+            ) => failed += 1,
+            Err(err) => panic!("unsanctioned chaos outcome: {err}"),
+        }
+    }
+    assert!(svc.engine().active_queries().is_empty(), "census must drain after chaos");
+    ChaosReport {
+        seed: SEED,
+        submissions: cfg.chaos_submissions as u64,
+        ok,
+        failed,
+        faults_injected: svc.stats().faults_injected,
+    }
+}
+
 /// Runs the full benchmark, returning the report as a JSON string.
 pub fn run(cfg: &ServiceBenchConfig) -> String {
     let churn = run_churn(cfg);
     let stages = run_staged_departure(cfg);
+    let unbounded = run_overload(cfg, 0);
+    let bounded = run_overload(cfg, cfg.overload_max_queued.max(1));
+    let chaos = run_chaos_probe(cfg);
     let stage_rows: Vec<String> = stages
         .iter()
         .map(|s| {
@@ -228,8 +404,15 @@ pub fn run(cfg: &ServiceBenchConfig) -> String {
             )
         })
         .collect();
+    let overload_row = |r: &OverloadReport| {
+        format!(
+            "{{ \"max_queued\": {}, \"submissions\": {}, \"completed\": {}, \"shed\": {}, \"timed_out\": {}, \"mean_response_ms\": {:.3}, \"p99_response_ms\": {:.3} }}",
+            r.max_queued, r.submissions, r.completed, r.shed, r.timed_out, r.mean_response_ms,
+            r.p99_response_ms
+        )
+    };
     format!(
-        "{{\n  \"bench\": \"service\",\n  \"mode\": \"{mode}\",\n  \"config\": {{ \"sessions\": {sessions}, \"queries_per_session\": {qps}, \"churn_threads\": {threads}, \"departure_clients\": {clients}, \"submissions_per_stage\": {per_stage}, \"workers\": {workers}, \"tpch_sf\": {sf} }},\n  \"client_churn\": {{\n    \"sessions\": {churn_sessions},\n    \"queries\": {queries},\n    \"elapsed_ms\": {elapsed:.3},\n    \"throughput_qps\": {qps_rate:.1},\n    \"sessions_per_sec\": {sps:.1},\n    \"result_cache_hits\": {hits},\n    \"result_cache_misses\": {misses},\n    \"plan_cache_hits\": {plan_hits}\n  }},\n  \"staged_departure\": {{\n    \"stages\": [\n{stages}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"mode\": \"{mode}\",\n  \"config\": {{ \"sessions\": {sessions}, \"queries_per_session\": {qps}, \"churn_threads\": {threads}, \"departure_clients\": {clients}, \"submissions_per_stage\": {per_stage}, \"workers\": {workers}, \"tpch_sf\": {sf} }},\n  \"client_churn\": {{\n    \"sessions\": {churn_sessions},\n    \"queries\": {queries},\n    \"elapsed_ms\": {elapsed:.3},\n    \"throughput_qps\": {qps_rate:.1},\n    \"sessions_per_sec\": {sps:.1},\n    \"result_cache_hits\": {hits},\n    \"result_cache_misses\": {misses},\n    \"plan_cache_hits\": {plan_hits}\n  }},\n  \"staged_departure\": {{\n    \"stages\": [\n{stages}\n    ]\n  }},\n  \"overload\": {{\n    \"unbounded\": {unbounded},\n    \"bounded\": {bounded}\n  }},\n  \"chaos\": {{ \"seed\": {chaos_seed}, \"submissions\": {chaos_subs}, \"ok\": {chaos_ok}, \"failed\": {chaos_failed}, \"faults_injected\": {chaos_faults} }}\n}}\n",
         mode = cfg.mode,
         sessions = cfg.sessions,
         qps = cfg.queries_per_session,
@@ -247,6 +430,13 @@ pub fn run(cfg: &ServiceBenchConfig) -> String {
         misses = churn.result_cache_misses,
         plan_hits = churn.plan_cache_hits,
         stages = stage_rows.join(",\n"),
+        unbounded = overload_row(&unbounded),
+        bounded = overload_row(&bounded),
+        chaos_seed = chaos.seed,
+        chaos_subs = chaos.submissions,
+        chaos_ok = chaos.ok,
+        chaos_failed = chaos.failed,
+        chaos_faults = chaos.faults_injected,
     )
 }
 
@@ -266,6 +456,12 @@ mod tests {
             "staged_departure",
             "mean_response_ms",
             "mean_admit_dop",
+            "\"overload\"",
+            "\"shed\"",
+            "\"timed_out\"",
+            "p99_response_ms",
+            "\"chaos\"",
+            "faults_injected",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -278,6 +474,25 @@ mod tests {
                 "unbalanced {open}{close}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_overload_sheds_while_unbounded_queues() {
+        let cfg = ServiceBenchConfig::smoke();
+        let unbounded = run_overload(&cfg, 0);
+        let bounded = run_overload(&cfg, cfg.overload_max_queued.max(1));
+        // Without a bound nothing is ever refused; with the census capped
+        // below the standing queue depth, refusals are guaranteed.
+        assert_eq!(unbounded.shed, 0, "unbounded queues must never shed");
+        assert_eq!(unbounded.completed + unbounded.timed_out, unbounded.submissions);
+        assert!(bounded.shed > 0, "a census of 1 under 2×3 clients must shed");
+        assert_eq!(bounded.completed + bounded.shed + bounded.timed_out, bounded.submissions);
+    }
+
+    #[test]
+    fn chaos_probe_accounts_for_every_submission() {
+        let report = run_chaos_probe(&ServiceBenchConfig::smoke());
+        assert_eq!(report.ok + report.failed, report.submissions);
     }
 
     #[test]

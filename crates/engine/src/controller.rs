@@ -254,6 +254,16 @@ impl ResourceController {
         &self.config
     }
 
+    /// Discards all per-query signal windows. The tick watchdog calls this
+    /// after containing a panicking tick: a panic may have unwound midway
+    /// through a window update, so the next tick restarts from fresh
+    /// baselines instead of acting on half-written deltas (the cost is one
+    /// interval of lost signal, not correctness — levers only ever write
+    /// admitted DOP and morsel size, both safe at any value).
+    pub(crate) fn reset(&self) {
+        self.windows.lock().clear();
+    }
+
     /// One control round over the currently active queries. `pending_tasks`
     /// is the scheduler's momentary backlog (pool pressure).
     pub(crate) fn tick(&self, active: &[Arc<QueryHandle>], pending_tasks: usize) -> TickReport {
@@ -460,6 +470,17 @@ mod tests {
         assert_eq!(ctrl.windows.lock().len(), 2);
         ctrl.tick(&[a], 0);
         assert_eq!(ctrl.windows.lock().len(), 1, "finished query's window must retire");
+    }
+
+    #[test]
+    fn reset_discards_signal_windows() {
+        let ctrl = controller(ControllerConfig::default().with_elastic_dop(false));
+        let a = handle(1, 0);
+        a.test_add_signals(1_000, 1_000);
+        ctrl.tick(std::slice::from_ref(&a), 0);
+        assert_eq!(ctrl.windows.lock().len(), 1);
+        ctrl.reset();
+        assert!(ctrl.windows.lock().is_empty());
     }
 
     #[test]

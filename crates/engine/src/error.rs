@@ -37,6 +37,16 @@ pub enum EngineError {
     /// A submission was made on a closed service session
     /// ([`crate::service::Session`]).
     SessionClosed,
+    /// The query's deadline ([`crate::QueryHandle::deadline`]) expired
+    /// before it finished; partial work was cancelled.
+    DeadlineExceeded,
+    /// The service shed this submission because its queues are full
+    /// ([`crate::ServiceConfig::max_queued`]); retry after backing off.
+    Overloaded {
+        /// Suggested client backoff before resubmitting, derived from the
+        /// observed service latency and current queue depth.
+        retry_after_hint: std::time::Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +63,10 @@ impl fmt::Display for EngineError {
             EngineError::EngineShutDown => write!(f, "engine has been shut down"),
             EngineError::Cancelled => write!(f, "query was cancelled"),
             EngineError::SessionClosed => write!(f, "session is closed"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::Overloaded { retry_after_hint } => {
+                write!(f, "service overloaded; retry after {retry_after_hint:?}")
+            }
         }
     }
 }
@@ -96,5 +110,8 @@ mod tests {
         assert!(EngineError::EngineShutDown.to_string().contains("shut down"));
         assert!(EngineError::Cancelled.to_string().contains("cancelled"));
         assert!(EngineError::SessionClosed.to_string().contains("session"));
+        assert!(EngineError::DeadlineExceeded.to_string().contains("deadline"));
+        let e = EngineError::Overloaded { retry_after_hint: std::time::Duration::from_millis(5) };
+        assert!(e.to_string().contains("overloaded"));
     }
 }

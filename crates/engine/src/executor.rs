@@ -36,6 +36,7 @@ use crate::controller::{
     equal_share, is_governed, ControllerConfig, ResourceController, TickReport,
 };
 use crate::error::{EngineError, Result};
+use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use crate::interpreter::{exchange_union, execute_node, slice_part};
 use crate::noise::{NoiseConfig, NoiseInjector};
 use crate::pipeline::{
@@ -76,6 +77,11 @@ pub struct EngineConfig {
     /// signals. `None` (default) disables the subsystem — admitted DOP and
     /// morsel size then stay exactly as submitted.
     pub controller: Option<ControllerConfig>,
+    /// Deterministic fault injection ([`crate::fault`]): seeded operator
+    /// panics, dispatch stalls, spurious cancellations and delays, threaded
+    /// through the panic-guarded operator runner and both scheduler
+    /// policies' dispatch loops. `None` (default) disables the chaos layer.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +94,7 @@ impl Default for EngineConfig {
             execution_mode: ExecutionMode::default(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
             controller: None,
+            faults: None,
         }
     }
 }
@@ -121,6 +128,13 @@ impl EngineConfig {
     /// [`crate::controller`] for the feedback-loop specification.
     pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
         self.controller = Some(controller);
+        self
+    }
+
+    /// Enables deterministic fault injection (builder style); see
+    /// [`crate::fault`] for the chaos-layer specification.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -217,6 +231,15 @@ pub struct Engine {
     /// Stop flag + wakeup for the background control thread.
     controller_stop: Arc<(Mutex<bool>, Condvar)>,
     controller_thread: Option<JoinHandle<()>>,
+    /// Chaos layer ([`crate::fault`]); `None` when disabled.
+    faults: Option<Arc<FaultInjector>>,
+    /// Monotonic controller tick number, shared by the background loop and
+    /// [`Engine::controller_tick`] (the fault schedule keys scripted tick
+    /// panics on it).
+    controller_ticks: Arc<AtomicU64>,
+    /// Times the tick watchdog contained a panicking controller tick and
+    /// restarted the loop.
+    controller_restarts: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -233,7 +256,8 @@ impl Engine {
     /// Creates an engine with the given configuration, spawning the worker pool.
     pub fn new(config: EngineConfig) -> Self {
         let n_workers = config.n_workers.max(1);
-        let scheduler = config.scheduler.build(n_workers);
+        let faults = config.faults.clone().map(|c| Arc::new(FaultInjector::new(c)));
+        let scheduler = config.scheduler.build(n_workers, faults.clone());
         let mut workers = Vec::with_capacity(n_workers);
         for worker_idx in 0..n_workers {
             let sched = Arc::clone(&scheduler);
@@ -252,11 +276,16 @@ impl Engine {
             .clone()
             .map(|cfg| Arc::new(ResourceController::new(cfg, n_workers, config.morsel_rows)));
         let controller_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let controller_ticks = Arc::new(AtomicU64::new(0));
+        let controller_restarts = Arc::new(AtomicU64::new(0));
         let controller_thread = controller.as_ref().map(|ctrl| {
             let ctrl = Arc::clone(ctrl);
             let registry = Arc::clone(&registry);
             let sched = Arc::clone(&scheduler);
             let stop = Arc::clone(&controller_stop);
+            let faults = faults.clone();
+            let ticks = Arc::clone(&controller_ticks);
+            let restarts = Arc::clone(&controller_restarts);
             std::thread::Builder::new()
                 .name("apq-controller".to_string())
                 .spawn(move || loop {
@@ -271,8 +300,14 @@ impl Engine {
                             return;
                         }
                     }
-                    let active: Vec<Arc<QueryHandle>> = registry.lock().values().cloned().collect();
-                    ctrl.tick(&active, sched.pending_tasks());
+                    supervised_tick(
+                        &ctrl,
+                        &registry,
+                        &*sched,
+                        faults.as_deref(),
+                        &ticks,
+                        &restarts,
+                    );
                 })
                 .expect("failed to spawn controller thread")
         });
@@ -287,6 +322,9 @@ impl Engine {
             controller,
             controller_stop,
             controller_thread,
+            faults,
+            controller_ticks,
+            controller_restarts,
         }
     }
 
@@ -334,15 +372,38 @@ impl Engine {
     ///
     /// The background control thread ticks on its own
     /// ([`ControllerConfig::tick`]); this entry point exists so tests,
-    /// examples and operators can force a deterministic round.
+    /// examples and operators can force a deterministic round. Like the
+    /// background loop, the round runs under the tick watchdog: a panicking
+    /// tick is contained, counted in [`Engine::controller_restarts`] and
+    /// returns an empty report instead of unwinding into the caller.
     pub fn controller_tick(&self) -> TickReport {
         match &self.controller {
-            Some(ctrl) => {
-                let active = self.active_queries();
-                ctrl.tick(&active, self.scheduler.pending_tasks())
-            }
+            Some(ctrl) => supervised_tick(
+                ctrl,
+                &self.registry,
+                &*self.scheduler,
+                self.faults.as_deref(),
+                &self.controller_ticks,
+                &self.controller_restarts,
+            ),
             None => TickReport::default(),
         }
+    }
+
+    /// Times the controller tick watchdog contained a panicking tick and
+    /// restarted the control loop (0 in healthy operation; chaos runs with
+    /// scripted tick panics drive it up). A panic costs one interval of
+    /// adaptive signal, never the control loop itself — the alternative, a
+    /// dead `apq-controller` thread, would silently freeze elastic
+    /// re-grants for the rest of the engine's life.
+    pub fn controller_restarts(&self) -> u64 {
+        self.controller_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative fault-injection counters of the chaos layer
+    /// ([`crate::fault`]); all zeros when injection is disabled.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Registers a query with the scheduler, returning its handle. The handle
@@ -535,6 +596,14 @@ impl Engine {
         let _registered =
             RegistryGuard { registry: &self.registry, id: handle.id(), owned: !reserved };
 
+        // Pre-dispatch liveness gate: a query submitted already cancelled or
+        // with an expired deadline fails here, before a single task reaches
+        // the scheduler — no morsel is dispatched for work that cannot
+        // complete.
+        if let Some(err) = liveness_error(&handle) {
+            return Err(err);
+        }
+
         if self.config.execution_mode == ExecutionMode::MorselDriven {
             return self.execute_morsel_driven(plan, catalog, handle, concurrent_peers);
         }
@@ -561,6 +630,7 @@ impl Engine {
             done_cv: Condvar::new(),
             started: Instant::now(),
             noise: self.noise.clone(),
+            faults: self.faults.clone(),
             overhead_us: self.config.per_operator_overhead_us,
         });
 
@@ -586,6 +656,7 @@ impl Engine {
                 state.done_cv.wait(&mut done);
             }
         }
+        drain_query_tasks(&state.handle);
         if let Some(err) = state.error.lock().clone() {
             return Err(err);
         }
@@ -639,6 +710,7 @@ impl Engine {
             done_cv: Condvar::new(),
             started: Instant::now(),
             noise: self.noise.clone(),
+            faults: self.faults.clone(),
             overhead_us: self.config.per_operator_overhead_us,
             morsel_rows: self.config.morsel_rows.max(1),
             n_workers: self.config.n_workers,
@@ -663,6 +735,7 @@ impl Engine {
                 state.done_cv.wait(&mut done);
             }
         }
+        drain_query_tasks(&state.handle);
         if let Some(err) = state.error.lock().clone() {
             return Err(err);
         }
@@ -708,6 +781,72 @@ impl Drop for Engine {
     }
 }
 
+/// One watchdog-supervised controller round, shared by the background
+/// control thread and [`Engine::controller_tick`]. A panicking tick (a
+/// controller bug, or a scripted
+/// [`crate::fault::FaultConfig::controller_tick_panics`] entry) is contained
+/// here: the controller's signal windows are reset (a panic may have unwound
+/// mid-update) and the restart counter incremented, so the control loop
+/// keeps ticking instead of dying silently and freezing elastic re-grants.
+fn supervised_tick(
+    ctrl: &ResourceController,
+    registry: &Mutex<HashMap<u64, Arc<QueryHandle>>>,
+    sched: &dyn Scheduler,
+    faults: Option<&FaultInjector>,
+    ticks: &AtomicU64,
+    restarts: &AtomicU64,
+) -> TickReport {
+    let tick_idx = ticks.fetch_add(1, Ordering::Relaxed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(faults) = faults {
+            if faults.tick_should_panic(tick_idx) {
+                panic!("injected controller tick panic (tick {tick_idx})");
+            }
+        }
+        let active: Vec<Arc<QueryHandle>> = registry.lock().values().cloned().collect();
+        ctrl.tick(&active, sched.pending_tasks())
+    }));
+    match outcome {
+        Ok(report) => report,
+        Err(_) => {
+            ctrl.reset();
+            restarts.fetch_add(1, Ordering::Relaxed);
+            TickReport::default()
+        }
+    }
+}
+
+/// The liveness check every cancel checkpoint runs: `Cancelled` wins over
+/// `DeadlineExceeded` (an explicit client action over a passive expiry);
+/// expiry records the [`DopPhase::Timeout`] timeline event on first
+/// observation.
+fn liveness_error(handle: &QueryHandle) -> Option<EngineError> {
+    if handle.is_cancelled() {
+        return Some(EngineError::Cancelled);
+    }
+    if handle.deadline_exceeded() {
+        handle.mark_deadline_exceeded();
+        return Some(EngineError::DeadlineExceeded);
+    }
+    None
+}
+
+/// Spin-waits until no task of the query is left anywhere in the scheduler.
+///
+/// Completion (`done`) fires from inside the last task's body — and a
+/// *failure* fires from the first checkpoint that observes it, with sibling
+/// tasks still queued or executing. Returning to the client at that point
+/// would leak stragglers into the pool: they hold DOP slots, touch the run
+/// state, and skew the next submission's scheduling. Draining here makes
+/// `running() == 0` an invariant the moment a submission returns, errors
+/// included. The wait is short by construction — post-failure tasks bail at
+/// their first liveness check before doing operator work.
+fn drain_query_tasks(handle: &QueryHandle) {
+    while handle.inflight_tasks() > 0 {
+        std::thread::yield_now();
+    }
+}
+
 struct RunState {
     plan: Arc<Plan>,
     catalog: Arc<Catalog>,
@@ -726,6 +865,7 @@ struct RunState {
     done_cv: Condvar,
     started: Instant,
     noise: Option<Arc<NoiseInjector>>,
+    faults: Option<Arc<FaultInjector>>,
     overhead_us: u64,
 }
 
@@ -753,8 +893,22 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
     if state.failed.load(Ordering::Acquire) {
         return;
     }
-    if state.handle.is_cancelled() {
-        return state.fail(EngineError::Cancelled);
+    if let Some(err) = liveness_error(&state.handle) {
+        return state.fail(err);
+    }
+    let mut inject_panic = false;
+    if let Some(faults) = &state.faults {
+        match faults.operator_fault(state.handle.id(), node) {
+            Some(FaultKind::SpuriousCancel) => {
+                // Flip the real cancel flag so every later checkpoint of the
+                // query observes the same cancellation an external client
+                // would have caused.
+                state.handle.cancel();
+                return state.fail(EngineError::Cancelled);
+            }
+            Some(FaultKind::OperatorPanic) => inject_panic = true,
+            _ => {}
+        }
     }
     if let Err(e) = execute_and_publish(
         &state.plan,
@@ -766,6 +920,8 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
         state.overhead_us,
         ctx,
         node,
+        state.faults.as_deref().map(|f| (f, state.handle.id())),
+        inject_panic,
     ) {
         return state.fail(e);
     }
@@ -813,6 +969,8 @@ fn execute_and_publish(
     overhead_us: u64,
     ctx: &TaskContext<'_>,
     node: NodeId,
+    faults: Option<(&FaultInjector, u64)>,
+    inject_panic: bool,
 ) -> Result<()> {
     let node_ref = plan.node(node)?.clone();
 
@@ -831,12 +989,20 @@ fn execute_and_publish(
 
     let queue_wait_us = ctx.queue_wait.as_micros() as u64;
     let start_us = started.elapsed().as_micros() as u64;
-    let outcome = guarded_execute(node, &node_ref.spec, &inputs, catalog);
+    let outcome = guarded_execute(node, &node_ref.spec, &inputs, catalog, inject_panic);
     if overhead_us > 0 {
         std::thread::sleep(std::time::Duration::from_micros(overhead_us));
     }
     if let Some(noise) = noise {
         noise.inject();
+    }
+    if let Some((faults, query_id)) = faults {
+        // Chaos-layer delay: like noise, but site-keyed and deterministic
+        // per seed. Timing-only — results are unaffected by construction.
+        let delay = faults.operator_delay_us(query_id, node);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
     }
     let end_us = started.elapsed().as_micros() as u64;
 
@@ -863,13 +1029,21 @@ fn execute_and_publish(
 /// Executes one operator, converting panics into query-level errors: a
 /// panicking operator must fail *this query* (waking the submitting client)
 /// rather than unwind through the shared worker pool.
+///
+/// `inject_panic` is the chaos layer's [`FaultKind::OperatorPanic`]: the
+/// injected panic unwinds from *inside* the guarded region, so it exercises
+/// exactly the containment path a genuine operator bug would take.
 fn guarded_execute(
     node: NodeId,
     spec: &OperatorSpec,
     inputs: &[Chunk],
     catalog: &Catalog,
+    inject_panic: bool,
 ) -> Result<Chunk> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected operator fault");
+        }
         execute_node(node, spec, inputs, catalog)
     }))
     .unwrap_or_else(|panic| {
@@ -915,6 +1089,7 @@ struct MorselState {
     done_cv: Condvar,
     started: Instant,
     noise: Option<Arc<NoiseInjector>>,
+    faults: Option<Arc<FaultInjector>>,
     overhead_us: u64,
     /// Engine-default morsel size; each pipeline launch may override it
     /// with the query's live hint (see [`FusedRun::morsel_rows`]).
@@ -1079,8 +1254,17 @@ fn run_single_step(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, 
     if state.failed.load(Ordering::Acquire) {
         return;
     }
-    if state.handle.is_cancelled() {
-        return state.fail(EngineError::Cancelled);
+    if let Some(err) = liveness_error(&state.handle) {
+        return state.fail(err);
+    }
+    let mut inject_panic = false;
+    match morsel_fault(&state, node) {
+        Some(FaultKind::SpuriousCancel) => {
+            state.handle.cancel();
+            return state.fail(EngineError::Cancelled);
+        }
+        Some(FaultKind::OperatorPanic) => inject_panic = true,
+        _ => {}
     }
     if let Err(e) = execute_and_publish(
         &state.plan,
@@ -1092,10 +1276,21 @@ fn run_single_step(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, 
         state.overhead_us,
         ctx,
         node,
+        state.faults.as_deref().map(|f| (f, state.handle.id())),
+        inject_panic,
     ) {
         return state.fail(e);
     }
     complete_step(&state, ctx, step);
+}
+
+/// The chaos layer's outcome-changing fault decision for one operator
+/// execution in morsel mode. `None` when injection is off or the site is
+/// fault-free; the caller maps [`FaultKind::SpuriousCancel`] to a real
+/// cancellation and [`FaultKind::OperatorPanic`] to an injected panic inside
+/// [`guarded_execute`].
+fn morsel_fault(state: &MorselState, node: NodeId) -> Option<FaultKind> {
+    state.faults.as_ref().and_then(|f| f.operator_fault(state.handle.id(), node))
 }
 
 /// Executes one morsel: slices the pipeline's source, streams the slice
@@ -1105,8 +1300,8 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
     if state.failed.load(Ordering::Acquire) {
         return;
     }
-    if state.handle.is_cancelled() {
-        return state.fail(EngineError::Cancelled);
+    if let Some(err) = liveness_error(&state.handle) {
+        return state.fail(err);
     }
     let Step::Fused(pipeline) = &state.fused.steps[step] else {
         return state.fail(EngineError::InvalidPlan(format!("step {step} is not a pipeline")));
@@ -1134,8 +1329,16 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
             let lo = run.scan_start + morsel * morsel_rows;
             let hi = (lo + morsel_rows).min(run.scan_start + run.source_rows);
             let sub = OperatorSpec::ScanColumn { table, column, range: RowRange::new(lo, hi) };
+            let inject_panic = match morsel_fault(&state, node) {
+                Some(FaultKind::SpuriousCancel) => {
+                    state.handle.cancel();
+                    return state.fail(EngineError::Cancelled);
+                }
+                Some(FaultKind::OperatorPanic) => true,
+                _ => false,
+            };
             let started = Instant::now();
-            match guarded_execute(node, &sub, &[], &state.catalog) {
+            match guarded_execute(node, &sub, &[], &state.catalog, inject_panic) {
                 Ok(chunk) => {
                     run.record_stage(member, started, &chunk);
                     member = 1;
@@ -1210,8 +1413,16 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
                 inputs.push(chunk.clone());
             }
         }
+        let inject_panic = match morsel_fault(&state, stage) {
+            Some(FaultKind::SpuriousCancel) => {
+                state.handle.cancel();
+                return state.fail(EngineError::Cancelled);
+            }
+            Some(FaultKind::OperatorPanic) => true,
+            _ => false,
+        };
         let started = Instant::now();
-        match guarded_execute(stage, &node_ref.spec, &inputs, &state.catalog) {
+        match guarded_execute(stage, &node_ref.spec, &inputs, &state.catalog, inject_panic) {
             Ok(chunk) => {
                 run.record_stage(member, started, &chunk);
                 member += 1;
@@ -1228,6 +1439,14 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
     }
     if let Some(noise) = &state.noise {
         noise.inject();
+    }
+    if let Some(faults) = &state.faults {
+        // Chaos-layer delay, once per morsel (the dispatch unit here), keyed
+        // on the pipeline terminal. Timing-only.
+        let delay = faults.operator_delay_us(state.handle.id(), pipeline.terminal());
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
     }
 
     run.morsels_by_worker[ctx.worker].fetch_add(1, Ordering::Relaxed);

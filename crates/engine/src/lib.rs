@@ -27,6 +27,10 @@
 //!   claim) and query-level multi-core-utilization metrics;
 //! * [`noise`] — reproducible synthetic OS-noise injection for the
 //!   convergence-robustness experiments;
+//! * [`fault`] — the deterministic chaos layer generalizing [`noise`]:
+//!   seeded, site-keyed injection of operator panics, dispatch stalls and
+//!   spurious cancellations ([`EngineConfig::with_faults`]), reproducible
+//!   byte-for-byte from a seed;
 //! * [`service`] — the long-lived production query service: sessions with
 //!   per-session submission queues, unified admission (a ticket *is* a
 //!   registry reservation, one census with the controller) and shared
@@ -38,6 +42,7 @@ pub mod chunk;
 pub mod controller;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod interpreter;
 pub mod noise;
 pub mod pipeline;
@@ -50,6 +55,7 @@ pub use chunk::{Chunk, JoinView, OidsView, QueryOutput};
 pub use controller::{ControllerConfig, TickReport};
 pub use error::{EngineError, Result};
 pub use executor::{Engine, EngineConfig, QueryExecution, QueryOptions, ReservedQuery};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats, ScheduledFault};
 pub use noise::{NoiseConfig, NoiseInjector};
 pub use pipeline::{ExecutionMode, DEFAULT_MORSEL_ROWS};
 pub use plan::{CombinerKind, JoinSide, NodeId, OperatorSpec, Plan, PlanNode};

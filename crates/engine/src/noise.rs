@@ -8,6 +8,14 @@
 //! with a configurable probability an executed operator is stretched by a
 //! uniformly random delay. Experiments that test outlier handling switch
 //! this on; all other experiments leave it off.
+//!
+//! Delay-only noise is the *benign* end of the failure spectrum. The
+//! generalized chaos layer — panics, dispatch stalls and spurious
+//! cancellations on top of delays, with site-keyed determinism and scripted
+//! schedules — lives in [`crate::fault`]; the failure semantics each fault
+//! must surface as are documented in `docs/architecture.md` §9. This module
+//! stays as the lightweight timing-noise tool the convergence experiments
+//! were built on.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;

@@ -73,6 +73,11 @@ pub enum DopPhase {
     /// [`crate::QueryHandle::set_admitted_dop`] — made by the client or by
     /// the elastic resource controller ([`crate::controller`]).
     Regrant,
+    /// The query's deadline expired ([`crate::QueryHandle::deadline`]):
+    /// the effective DOP collapses to 0 and the query fails with
+    /// [`crate::EngineError::DeadlineExceeded`]. Recorded at most once,
+    /// by whichever checkpoint observed the expiry first.
+    Timeout,
 }
 
 /// One point of a query's admitted-DOP timeline: the degree of parallelism

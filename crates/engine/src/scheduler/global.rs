@@ -10,9 +10,12 @@
 //! [`QueryHandle::priority`]` > 0`; it is drained before the normal lane.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+
+use crate::fault::FaultInjector;
 
 #[allow(unused_imports)] // rustdoc link target
 use super::QueryHandle;
@@ -31,6 +34,9 @@ pub struct GlobalQueue {
     high_rx: Receiver<Task>,
     counters: Vec<WorkerCounters>,
     shutdown: AtomicBool,
+    /// Chaos layer: consulted before every dispatch for injected stalls
+    /// ([`crate::fault::FaultKind::DispatchStall`]).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 struct Lanes {
@@ -41,6 +47,12 @@ struct Lanes {
 impl GlobalQueue {
     /// Creates the scheduler for `n_workers` worker threads.
     pub fn new(n_workers: usize) -> Self {
+        GlobalQueue::with_faults(n_workers, None)
+    }
+
+    /// Creates the scheduler with an optional fault injector wired into the
+    /// dispatch loop.
+    pub(crate) fn with_faults(n_workers: usize, faults: Option<Arc<FaultInjector>>) -> Self {
         let (normal_tx, normal_rx) = unbounded();
         let (high_tx, high_rx) = unbounded();
         GlobalQueue {
@@ -49,6 +61,7 @@ impl GlobalQueue {
             high_rx,
             counters: (0..n_workers.max(1)).map(|_| WorkerCounters::default()).collect(),
             shutdown: AtomicBool::new(false),
+            faults,
         }
     }
 
@@ -128,6 +141,13 @@ impl Scheduler for GlobalQueue {
                 }
             }
             backoff.dispatched();
+            if let Some(faults) = &self.faults {
+                // Chaos: stall between dequeue and dispatch (emulates OS
+                // preemption at the scheduler boundary). Timing-only; the
+                // stall lands in queue-wait accounting, never in results.
+                let h = task.handle();
+                faults.maybe_stall(h.id(), h.signals().dispatched);
+            }
             let queue_wait = task.queue_wait();
             self.counters[worker].record(origin, queue_wait);
             task.dispatch(worker, origin, queue_wait, self);

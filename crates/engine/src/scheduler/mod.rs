@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::fault::FaultInjector;
 use crate::profiler::{DopEvent, DopPhase};
 
 /// Which scheduling policy an engine runs.
@@ -66,11 +67,21 @@ impl SchedulerPolicy {
     pub const ALL: [SchedulerPolicy; 2] =
         [SchedulerPolicy::GlobalQueue, SchedulerPolicy::WorkStealing];
 
-    /// Builds a scheduler instance for `n_workers` worker threads.
-    pub(crate) fn build(self, n_workers: usize) -> Arc<dyn Scheduler> {
+    /// Builds a scheduler instance for `n_workers` worker threads. A fault
+    /// injector, when present, is consulted by the policy's dispatch loop
+    /// for [`crate::fault::FaultKind::DispatchStall`] injection.
+    pub(crate) fn build(
+        self,
+        n_workers: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Arc<dyn Scheduler> {
         match self {
-            SchedulerPolicy::GlobalQueue => Arc::new(global::GlobalQueue::new(n_workers)),
-            SchedulerPolicy::WorkStealing => Arc::new(stealing::WorkStealing::new(n_workers)),
+            SchedulerPolicy::GlobalQueue => {
+                Arc::new(global::GlobalQueue::with_faults(n_workers, faults))
+            }
+            SchedulerPolicy::WorkStealing => {
+                Arc::new(stealing::WorkStealing::with_faults(n_workers, faults))
+            }
         }
     }
 }
@@ -98,6 +109,11 @@ pub struct QueryHandle {
     admitted_dop: AtomicUsize,
     cancelled: AtomicBool,
     running: AtomicUsize,
+    /// Tasks of this query alive anywhere in the scheduler: created and not
+    /// yet fully dispatched (queued, deferred, or executing). The executor
+    /// drains this to zero before a submission returns — see
+    /// [`QueryHandle::inflight_tasks`].
+    inflight: AtomicUsize,
     /// Epoch for [`DopEvent::at_us`] offsets (handle creation time).
     created: Instant,
     /// Admitted-DOP change history: the initial grant plus every
@@ -105,6 +121,11 @@ pub struct QueryHandle {
     dop_events: Mutex<Vec<DopEvent>>,
     /// Per-query morsel-size override (rows); `0` = engine default.
     morsel_rows: AtomicUsize,
+    /// Deadline as a microsecond offset from `created`; `0` = no deadline.
+    deadline_us: AtomicU64,
+    /// Whether the [`DopPhase::Timeout`] timeline event was recorded (at
+    /// most one, by whichever checkpoint observes the expiry first).
+    timeout_recorded: AtomicBool,
     queue_wait_us: AtomicU64,
     busy_us: AtomicU64,
     dispatched: AtomicU64,
@@ -126,9 +147,12 @@ impl QueryHandle {
             admitted_dop: AtomicUsize::new(admitted_dop),
             cancelled: AtomicBool::new(false),
             running: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             created: Instant::now(),
             dop_events: Mutex::new(vec![DopEvent { at_us: 0, dop: admitted_dop, phase }]),
             morsel_rows: AtomicUsize::new(0),
+            deadline_us: AtomicU64::new(0),
+            timeout_recorded: AtomicBool::new(false),
             queue_wait_us: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
@@ -258,19 +282,86 @@ impl QueryHandle {
         self.cancelled.load(Ordering::Acquire)
     }
 
+    /// Arms (or tightens) the query's deadline to `timeout` from now. Every
+    /// point that reads the cancel flag — morsel dispatch, operator task
+    /// bodies, slot acquisition — also checks the deadline, so expiry fails
+    /// the query with [`crate::EngineError::DeadlineExceeded`] at the next
+    /// checkpoint; tasks already executing finish (nothing is pre-empted),
+    /// exactly like cancellation.
+    pub fn set_deadline(&self, timeout: Duration) {
+        let offset =
+            self.created.elapsed().saturating_add(timeout).as_micros().min(u64::MAX as u128) as u64;
+        // `0` encodes "no deadline", so an instantly expired deadline still
+        // stores a nonzero offset.
+        self.deadline_us.store(offset.max(1), Ordering::Release);
+    }
+
+    /// The query's deadline, if armed ([`QueryHandle::set_deadline`]).
+    pub fn deadline(&self) -> Option<Instant> {
+        match self.deadline_us.load(Ordering::Acquire) {
+            0 => None,
+            us => Some(self.created + Duration::from_micros(us)),
+        }
+    }
+
+    /// True once an armed deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self.deadline_us.load(Ordering::Acquire) {
+            0 => false,
+            us => self.created.elapsed().as_micros() as u64 >= us,
+        }
+    }
+
+    /// Records the [`DopPhase::Timeout`] timeline event (first caller wins;
+    /// later calls are no-ops so concurrent checkpoints record one entry).
+    pub(crate) fn mark_deadline_exceeded(&self) {
+        if self.timeout_recorded.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.dop_events.lock().push(DopEvent {
+            at_us: self.created.elapsed().as_micros() as u64,
+            dop: 0,
+            phase: DopPhase::Timeout,
+        });
+    }
+
     /// Number of this query's tasks currently executing.
     pub fn running(&self) -> usize {
         self.running.load(Ordering::Acquire)
     }
 
+    /// Number of this query's tasks alive anywhere in the scheduler —
+    /// queued, deferred by the DOP cap, or executing. Unlike
+    /// [`QueryHandle::running`] (slots held right now), this spans the
+    /// whole task lifetime, so `0` means the pool holds no trace of the
+    /// query. The executor drains it to zero before a submission returns,
+    /// failed and timed-out submissions included, which is what lets chaos
+    /// tests assert `running() == 0` immediately after an error.
+    pub fn inflight_tasks(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Counts a task of this query entering the scheduler
+    /// ([`Task::new`]).
+    pub(crate) fn task_spawned(&self) {
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Counts a task of this query leaving the scheduler for good (fully
+    /// dispatched, after its slot was released).
+    pub(crate) fn task_completed(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
     /// Atomically claims an execution slot for one task. Fails (without
     /// side effects) when the query already runs at its admitted DOP; always
-    /// succeeds for uncapped or cancelled queries (cancelled tasks must run
-    /// so the failure propagates). A `true` return obligates the caller to
-    /// dispatch the task, which releases the slot on completion.
+    /// succeeds for uncapped, cancelled or deadline-expired queries
+    /// (cancelled/expired tasks must run so the failure propagates). A
+    /// `true` return obligates the caller to dispatch the task, which
+    /// releases the slot on completion.
     pub(crate) fn acquire_slot(&self) -> bool {
         let cap = self.admitted_dop.load(Ordering::Acquire);
-        if cap == 0 || self.is_cancelled() {
+        if cap == 0 || self.is_cancelled() || self.deadline_exceeded() {
             self.running.fetch_add(1, Ordering::AcqRel);
             return true;
         }
@@ -336,6 +427,7 @@ impl Task {
         handle: Arc<QueryHandle>,
         run: impl FnOnce(&TaskContext<'_>) + Send + 'static,
     ) -> Self {
+        handle.task_spawned();
         Task { run: Box::new(run), handle, submitted_at: Instant::now() }
     }
 
@@ -380,6 +472,9 @@ impl Task {
         self.handle.busy_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         self.handle.dispatched.fetch_add(1, Ordering::Relaxed);
         self.handle.task_finished();
+        // Slot released first, lifetime count second: `inflight == 0`
+        // therefore implies `running == 0` for this query's tasks.
+        self.handle.task_completed();
         if result.is_err() {
             // Swallowed by design: the worker must survive. The query itself
             // was already failed by the task body's own panic handler.
@@ -594,6 +689,29 @@ mod tests {
         h.cancel();
         assert!(h.is_cancelled());
         assert!(h.acquire_slot(), "cancelled tasks always dispatch");
+    }
+
+    #[test]
+    fn deadline_state_machine() {
+        let h = QueryHandle::new(9, 0, 1);
+        assert!(h.deadline().is_none());
+        assert!(!h.deadline_exceeded());
+        h.set_deadline(Duration::from_secs(3600));
+        assert!(h.deadline().is_some());
+        assert!(!h.deadline_exceeded(), "one-hour deadline expired instantly");
+        h.set_deadline(Duration::ZERO);
+        assert!(h.deadline_exceeded());
+        // Expired queries always get a slot, like cancelled ones, so the
+        // failure can propagate through dispatch.
+        assert!(h.acquire_slot());
+        h.task_finished();
+        // The Timeout timeline entry is recorded exactly once.
+        h.mark_deadline_exceeded();
+        h.mark_deadline_exceeded();
+        let timeline = h.dop_timeline();
+        let timeouts: Vec<_> = timeline.iter().filter(|e| e.phase == DopPhase::Timeout).collect();
+        assert_eq!(timeouts.len(), 1);
+        assert_eq!(timeouts[0].dop, 0);
     }
 
     #[test]

@@ -19,9 +19,12 @@
 //! notifies one sleeper.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+
+use crate::fault::FaultInjector;
 
 use super::{
     DeferBackoff, Scheduler, SchedulerStats, SubmitTask, Task, TaskOrigin, WorkerCounters,
@@ -41,11 +44,20 @@ pub struct WorkStealing {
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     shutdown: AtomicBool,
+    /// Chaos layer: consulted before every dispatch for injected stalls
+    /// ([`crate::fault::FaultKind::DispatchStall`]).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl WorkStealing {
     /// Creates the scheduler for `n_workers` worker threads.
     pub fn new(n_workers: usize) -> Self {
+        WorkStealing::with_faults(n_workers, None)
+    }
+
+    /// Creates the scheduler with an optional fault injector wired into the
+    /// dispatch loop.
+    pub(crate) fn with_faults(n_workers: usize, faults: Option<Arc<FaultInjector>>) -> Self {
         let n = n_workers.max(1);
         let locals: Vec<Worker<Task>> = (0..n).map(|_| Worker::new_fifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
@@ -58,6 +70,7 @@ impl WorkStealing {
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            faults,
         }
     }
 
@@ -178,6 +191,13 @@ impl Scheduler for WorkStealing {
                         continue;
                     }
                     backoff.dispatched();
+                    if let Some(faults) = &self.faults {
+                        // Chaos: stall between dequeue and dispatch (emulates
+                        // OS preemption at the scheduler boundary). Timing-
+                        // only; lands in queue-wait accounting, not results.
+                        let h = task.handle();
+                        faults.maybe_stall(h.id(), h.signals().dispatched);
+                    }
                     let queue_wait = task.queue_wait();
                     self.counters[worker].record(origin, queue_wait);
                     task.dispatch(worker, origin, queue_wait, &submitter);

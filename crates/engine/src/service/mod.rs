@@ -52,6 +52,7 @@ mod session;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -63,6 +64,7 @@ use crate::QueryOutput;
 
 use cache::{PlanCache, ResultCache};
 pub use session::Session;
+use session::WaiterRegistry;
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -84,6 +86,18 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Result-cache capacity in entries (`0` disables the result cache).
     pub result_cache_capacity: usize,
+    /// Deadline applied to every [`Session::submit`] that does not carry an
+    /// explicit one ([`Session::submit_with_deadline`] overrides it per
+    /// call). `None` (the default) means submissions never time out. The
+    /// clock starts when the submission enters the session queue, so queue
+    /// wait counts against the deadline.
+    pub default_timeout: Option<Duration>,
+    /// Service-wide bound on *queued* (not yet executing) submissions. At
+    /// the bound a new submission sheds the lowest-priority waiter — or
+    /// itself, when nothing queued outranks it — with
+    /// [`crate::EngineError::Overloaded`] instead of blocking. `0` (the
+    /// default) means unbounded queues and no shedding.
+    pub max_queued: usize,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +108,8 @@ impl Default for ServiceConfig {
             admission: true,
             plan_cache_capacity: 256,
             result_cache_capacity: 128,
+            default_timeout: None,
+            max_queued: 0,
         }
     }
 }
@@ -125,6 +141,18 @@ impl ServiceConfig {
     /// Sets the result-cache capacity (`0` disables it).
     pub fn with_result_cache_capacity(mut self, capacity: usize) -> Self {
         self.result_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-submission deadline (`None` = never time out).
+    pub fn with_default_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.default_timeout = timeout;
+        self
+    }
+
+    /// Sets the service-wide queued-submission bound (`0` = unbounded).
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
         self
     }
 }
@@ -162,6 +190,16 @@ pub struct ServiceStats {
     pub plan_cache_misses: u64,
     /// Result-cache entries dropped by explicit invalidation.
     pub results_invalidated: u64,
+    /// Submissions that failed with
+    /// [`crate::EngineError::DeadlineExceeded`] (expired in the queue or
+    /// mid-execution).
+    pub timed_out: u64,
+    /// Submissions rejected with [`crate::EngineError::Overloaded`] —
+    /// queue-bound sheds plus non-blocking [`Session::try_submit`] refusals.
+    pub shed: u64,
+    /// Faults the engine's chaos layer injected so far
+    /// ([`crate::FaultStats::total`]); `0` when fault injection is off.
+    pub faults_injected: u64,
 }
 
 /// Cumulative counters behind [`ServiceStats`].
@@ -175,6 +213,8 @@ struct StatCounters {
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
     results_invalidated: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// Shared state behind a [`QueryService`] and its [`Session`]s.
@@ -185,6 +225,13 @@ pub(crate) struct ServiceInner {
     catalog: Mutex<Arc<Catalog>>,
     pub(crate) plan_cache: PlanCache,
     pub(crate) result_cache: ResultCache,
+    /// Service-wide registry of submissions waiting for their session's
+    /// turn — the census [`ServiceConfig::max_queued`] bounds and the
+    /// population lowest-priority shedding picks victims from.
+    pub(crate) waiters: WaiterRegistry,
+    /// EWMA of recent execution latency in µs, the basis of
+    /// [`crate::EngineError::Overloaded`]'s `retry_after_hint`.
+    latency_ewma_us: AtomicU64,
     stats: StatCounters,
     next_session: AtomicU64,
 }
@@ -211,6 +258,32 @@ impl ServiceInner {
 
     pub(crate) fn count_session_closed(&self) {
         self.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_timed_out(&self) {
+        self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_shed(&self) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one execution's wall-clock latency into the EWMA (α = 1/4;
+    /// coarse is fine — the hint is advisory back-pressure, not a promise).
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        let sample = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let prev = self.latency_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 { sample } else { prev - prev / 4 + sample / 4 };
+        self.latency_ewma_us.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// How long a rejected client should wait before retrying: roughly the
+    /// time for the backlog ahead of it to drain (average latency × queue
+    /// depth), floored at 1ms so a cold service still signals back-off.
+    pub(crate) fn retry_after_hint(&self) -> Duration {
+        let ewma = self.latency_ewma_us.load(Ordering::Relaxed);
+        let depth = self.waiters.len() as u64 + 1;
+        Duration::from_micros(ewma.saturating_mul(depth)).max(Duration::from_millis(1))
     }
 }
 
@@ -291,6 +364,8 @@ impl QueryService {
                 catalog: Mutex::new(catalog),
                 plan_cache: PlanCache::new(config.plan_cache_capacity),
                 result_cache: ResultCache::new(config.result_cache_capacity),
+                waiters: WaiterRegistry::default(),
+                latency_ewma_us: AtomicU64::new(0),
                 stats: StatCounters::default(),
                 next_session: AtomicU64::new(0),
                 config,
@@ -369,6 +444,12 @@ impl QueryService {
         self.inner.result_cache.len()
     }
 
+    /// Number of submissions currently waiting in session queues (the
+    /// population [`ServiceConfig::max_queued`] bounds).
+    pub fn queued(&self) -> usize {
+        self.inner.waiters.len()
+    }
+
     /// Snapshot of the service's cumulative counters.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.inner.stats;
@@ -381,6 +462,9 @@ impl QueryService {
             plan_cache_hits: s.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: s.plan_cache_misses.load(Ordering::Relaxed),
             results_invalidated: s.results_invalidated.load(Ordering::Relaxed),
+            timed_out: s.timed_out.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            faults_injected: self.inner.engine.fault_stats().total(),
         }
     }
 }

@@ -1,7 +1,23 @@
 //! Session handles: per-client submission queues over the shared service.
+//!
+//! Submissions of one session serialize in arrival order through a FIFO
+//! waiter queue. Unlike a ticket counter, each waiter is an addressable
+//! object, which is what the robustness layer needs:
+//!
+//! * [`Session::close`] wakes every queued waiter *immediately* with
+//!   [`EngineError::SessionClosed`] instead of letting the line drain,
+//! * the service-wide [`WaiterRegistry`] can shed the lowest-priority
+//!   waiter with [`EngineError::Overloaded`] when
+//!   [`super::ServiceConfig::max_queued`] is hit,
+//! * [`Session::try_submit`] can refuse without ever joining the line.
+//!
+//! Failure semantics of the full submit path are catalogued in
+//! `docs/architecture.md` §9.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -12,11 +28,113 @@ use crate::scheduler::QueryHandle;
 
 use super::{ServiceInner, ServiceResponse};
 
-/// Ticket state of a session's FIFO submission queue.
+/// Terminal state a queued waiter is woken with.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WaiterState {
+    /// Still in line.
+    Waiting,
+    /// The previous submission finished; this waiter owns the turn.
+    Granted,
+    /// Evicted by the overload policy — resolves to
+    /// [`EngineError::Overloaded`].
+    Shed,
+    /// The session closed underneath it — resolves to
+    /// [`EngineError::SessionClosed`].
+    Closed,
+}
+
+/// One blocked submission. Waiters park on their own mutex/condvar so a
+/// single wake (grant, shed, close) targets exactly one thread.
+pub(crate) struct Waiter {
+    state: Mutex<WaiterState>,
+    wake: Condvar,
+    priority: u8,
+}
+
+impl Waiter {
+    fn new(priority: u8) -> Arc<Self> {
+        Arc::new(Waiter { state: Mutex::new(WaiterState::Waiting), wake: Condvar::new(), priority })
+    }
+
+    /// Moves a still-waiting waiter to `next` and wakes it; returns `false`
+    /// when the waiter already left the Waiting state (lost a race to a
+    /// concurrent shed/close/grant).
+    fn resolve(&self, next: WaiterState) -> bool {
+        let mut state = self.state.lock();
+        if *state != WaiterState::Waiting {
+            return false;
+        }
+        *state = next;
+        drop(state);
+        self.wake.notify_one();
+        true
+    }
+
+    /// Parks until resolved; returns the terminal state.
+    fn park(&self) -> WaiterState {
+        let mut state = self.state.lock();
+        while *state == WaiterState::Waiting {
+            self.wake.wait(&mut state);
+        }
+        *state
+    }
+}
+
+/// Service-wide census of queued submissions: the population
+/// [`super::ServiceConfig::max_queued`] bounds, and the pool the shed
+/// policy picks its lowest-priority victim from.
 #[derive(Default)]
-struct SubmissionQueue {
-    next_ticket: u64,
-    now_serving: u64,
+pub(crate) struct WaiterRegistry {
+    entries: Mutex<Vec<Arc<Waiter>>>,
+}
+
+impl WaiterRegistry {
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Admits `waiter` into the queued census, shedding to stay under
+    /// `max_queued` (`0` = unbounded). At the bound the lowest-priority
+    /// queued waiter strictly below the newcomer is evicted in its place;
+    /// when nothing queued outranks the newcomer, the newcomer itself is
+    /// refused. Returns `false` when the newcomer was refused.
+    fn admit(&self, waiter: &Arc<Waiter>, max_queued: usize) -> bool {
+        let mut entries = self.entries.lock();
+        while max_queued > 0 && entries.len() >= max_queued {
+            let victim = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.priority)
+                .filter(|(_, w)| w.priority < waiter.priority)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let evicted = entries.swap_remove(i);
+                    // A waiter that already left Waiting (racing close) is
+                    // simply dropped from the census; keep looking.
+                    evicted.resolve(WaiterState::Shed);
+                }
+                None => return false,
+            }
+        }
+        entries.push(Arc::clone(waiter));
+        true
+    }
+
+    /// Drops `waiter` from the census (no-op when a shed already removed
+    /// it). Every waiter deregisters itself on wake-up, whatever the
+    /// outcome.
+    fn remove(&self, waiter: &Arc<Waiter>) {
+        self.entries.lock().retain(|w| !Arc::ptr_eq(w, waiter));
+    }
+}
+
+/// The session's FIFO line: `busy` marks a submission holding the turn,
+/// `waiters` the line behind it (front = next served).
+#[derive(Default)]
+struct WaitQueue {
+    busy: bool,
+    waiters: VecDeque<Arc<Waiter>>,
 }
 
 /// State shared by all clones of one session.
@@ -25,34 +143,89 @@ struct SessionInner {
     id: u64,
     priority: u8,
     closed: AtomicBool,
-    queue: Mutex<SubmissionQueue>,
-    turn: Condvar,
+    queue: Mutex<WaitQueue>,
     /// Handles of this session's queries currently inside the engine, so
     /// [`Session::close`] can cancel them mid-flight.
     live: Mutex<Vec<Arc<QueryHandle>>>,
 }
 
 impl SessionInner {
-    /// Waits for this submission's turn in the session queue. The returned
-    /// guard serves the next ticket on drop (success and error paths
-    /// alike), so a closed session drains its waiters instead of stranding
-    /// them.
-    fn acquire_turn(&self) -> Result<TurnGuard<'_>> {
+    /// Waits for this submission's turn. The returned guard passes the turn
+    /// to the next waiter on drop (success and error paths alike). With
+    /// `block = false` the call never joins the line: a busy session is
+    /// refused with [`EngineError::Overloaded`] on the spot.
+    fn acquire_turn(&self, block: bool) -> Result<TurnGuard<'_>> {
         if self.closed.load(Ordering::Acquire) {
             return Err(EngineError::SessionClosed);
         }
         let mut queue = self.queue.lock();
-        let ticket = queue.next_ticket;
-        queue.next_ticket += 1;
-        while queue.now_serving != ticket {
-            self.turn.wait(&mut queue);
-        }
+        let waiter = if !queue.busy && queue.waiters.is_empty() {
+            queue.busy = true;
+            None
+        } else if !block {
+            drop(queue);
+            self.service.count_shed();
+            return Err(EngineError::Overloaded {
+                retry_after_hint: self.service.retry_after_hint(),
+            });
+        } else {
+            // Join the service-wide queued census first (still under the
+            // session lock so close() cannot miss us), then the session
+            // line.
+            let waiter = Waiter::new(self.priority);
+            if !self.service.waiters.admit(&waiter, self.service.config.max_queued) {
+                drop(queue);
+                self.service.count_shed();
+                return Err(EngineError::Overloaded {
+                    retry_after_hint: self.service.retry_after_hint(),
+                });
+            }
+            queue.waiters.push_back(Arc::clone(&waiter));
+            Some(waiter)
+        };
         drop(queue);
+
+        if let Some(waiter) = waiter {
+            let outcome = waiter.park();
+            self.service.waiters.remove(&waiter);
+            match outcome {
+                WaiterState::Granted => {}
+                WaiterState::Shed => {
+                    self.service.count_shed();
+                    return Err(EngineError::Overloaded {
+                        retry_after_hint: self.service.retry_after_hint(),
+                    });
+                }
+                WaiterState::Closed => return Err(EngineError::SessionClosed),
+                WaiterState::Waiting => unreachable!("park returns a terminal state"),
+            }
+        }
         let guard = TurnGuard { inner: self };
         if self.closed.load(Ordering::Acquire) {
             return Err(EngineError::SessionClosed);
         }
         Ok(guard)
+    }
+
+    /// Hands the turn to the next live waiter, skipping entries that were
+    /// shed or closed while queued; idles the session when the line is
+    /// empty.
+    fn release_turn(&self) {
+        let mut queue = self.queue.lock();
+        debug_assert!(queue.busy, "release_turn without a held turn");
+        loop {
+            match queue.waiters.pop_front() {
+                Some(next) => {
+                    if next.resolve(WaiterState::Granted) {
+                        return; // `busy` stays true: the grantee owns the turn.
+                    }
+                }
+                None => {
+                    queue.busy = false;
+                    return;
+                }
+            }
+        }
     }
 
     fn track(&self, handle: Arc<QueryHandle>) {
@@ -67,10 +240,18 @@ impl SessionInner {
         if self.closed.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Wake every queued waiter with SessionClosed *now* — nobody should
+        // sit in a dead session's line waiting for the running submission
+        // to drain. Each waiter deregisters itself from the service census
+        // on wake-up.
+        let mut queue = self.queue.lock();
+        for waiter in queue.waiters.drain(..) {
+            waiter.resolve(WaiterState::Closed);
+        }
+        drop(queue);
         for handle in self.live.lock().iter() {
             handle.cancel();
         }
-        self.turn.notify_all();
         self.service.count_session_closed();
     }
 }
@@ -81,7 +262,7 @@ impl Drop for SessionInner {
     }
 }
 
-/// Advances the session queue to the next ticket when a submission leaves
+/// Passes the session's turn to the next waiter when a submission leaves
 /// the critical section (normally or on error).
 struct TurnGuard<'a> {
     inner: &'a SessionInner,
@@ -89,10 +270,7 @@ struct TurnGuard<'a> {
 
 impl Drop for TurnGuard<'_> {
     fn drop(&mut self) {
-        let mut queue = self.inner.queue.lock();
-        queue.now_serving += 1;
-        drop(queue);
-        self.inner.turn.notify_all();
+        self.inner.release_turn();
     }
 }
 
@@ -163,8 +341,7 @@ impl Session {
                 id,
                 priority,
                 closed: AtomicBool::new(false),
-                queue: Mutex::new(SubmissionQueue::default()),
-                turn: Condvar::new(),
+                queue: Mutex::new(WaitQueue::default()),
                 live: Mutex::new(Vec::new()),
             }),
         }
@@ -191,14 +368,63 @@ impl Session {
     /// run one at a time in arrival order; concurrency comes from many
     /// sessions, which is what the admission census governs.
     ///
-    /// Errors with [`EngineError::SessionClosed`] once the session is
-    /// closed; a close racing a running submission cancels it mid-flight
+    /// [`super::ServiceConfig::default_timeout`] (when set) bounds the
+    /// whole submission — queue wait included — with
+    /// [`EngineError::DeadlineExceeded`]; at the
+    /// [`super::ServiceConfig::max_queued`] bound the overload policy sheds
+    /// with [`EngineError::Overloaded`]. Errors with
+    /// [`EngineError::SessionClosed`] once the session is closed; a close
+    /// racing a running submission cancels it mid-flight
     /// ([`EngineError::Cancelled`]).
     pub fn submit(&self, plan: &Plan) -> Result<ServiceResponse> {
+        self.submit_inner(plan, self.inner.service.config.default_timeout, true)
+    }
+
+    /// Like [`Session::submit`] with a per-call deadline covering the whole
+    /// submission (queue wait included). A deadline that expires while the
+    /// submission is queued — or that already expired on entry — fails with
+    /// [`EngineError::DeadlineExceeded`] without dispatching any work; one
+    /// that expires mid-execution aborts at the next cancellation
+    /// checkpoint. Timed-out results are never admitted to the result
+    /// cache.
+    pub fn submit_with_deadline(&self, plan: &Plan, timeout: Duration) -> Result<ServiceResponse> {
+        self.submit_inner(plan, Some(timeout), true)
+    }
+
+    /// Non-blocking [`Session::submit`]: refuses with
+    /// [`EngineError::Overloaded`] instead of queueing when another
+    /// submission of this session holds the turn. The refusal counts as a
+    /// shed in [`super::ServiceStats`].
+    pub fn try_submit(&self, plan: &Plan) -> Result<ServiceResponse> {
+        self.submit_inner(plan, self.inner.service.config.default_timeout, false)
+    }
+
+    fn submit_inner(
+        &self,
+        plan: &Plan,
+        timeout: Option<Duration>,
+        block: bool,
+    ) -> Result<ServiceResponse> {
         let inner = &*self.inner;
         let service = &inner.service;
-        let _turn = inner.acquire_turn()?;
+        let submitted = Instant::now();
+        let _turn = inner.acquire_turn(block)?;
         service.count_query();
+
+        // The deadline clock started at submission, so queue wait has
+        // already consumed part of the budget; an exhausted budget fails
+        // here, before any work — even a result-cache hit must not answer
+        // a deadline that has already passed.
+        let remaining = match timeout {
+            Some(timeout) => match timeout.checked_sub(submitted.elapsed()) {
+                Some(left) => Some(left),
+                None => {
+                    service.count_timed_out();
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            },
+            None => None,
+        };
 
         let signature = plan.signature();
         if let Some(output) = service.result_cache.get(&signature) {
@@ -216,33 +442,56 @@ impl Session {
         service.count_plan_cache(plan_cache_hit);
 
         let catalog = service.catalog();
+        let started = Instant::now();
+        let handle;
         let execution = if service.config.admission {
             // Unified admission: the reservation is the ticket AND the
             // census entry; it is held (registry-visible) until the
             // submission finishes, then dropped.
             let reservation =
                 service.engine.reserve_admitted(inner.priority, service.config.total_dop);
-            let handle = reservation.handle();
+            handle = reservation.handle();
+            if let Some(left) = remaining {
+                handle.set_deadline(left);
+            }
             inner.track(Arc::clone(&handle));
-            let result = service.engine.execute_with_handle(&shared, &catalog, handle);
+            let result = service.engine.execute_with_handle(&shared, &catalog, Arc::clone(&handle));
             inner.untrack(reservation.id());
-            result?
+            result
         } else {
-            let handle = service
+            handle = service
                 .engine
                 .register_query(QueryOptions { priority: inner.priority, admitted_dop: 0 });
+            if let Some(left) = remaining {
+                handle.set_deadline(left);
+            }
             inner.track(Arc::clone(&handle));
-            let id = handle.id();
-            let result = service.engine.execute_with_handle(&shared, &catalog, handle);
-            inner.untrack(id);
-            result?
+            let result = service.engine.execute_with_handle(&shared, &catalog, Arc::clone(&handle));
+            inner.untrack(handle.id());
+            result
+        };
+        service.record_latency(started.elapsed());
+        let execution = match execution {
+            Ok(execution) => execution,
+            Err(err) => {
+                if err == EngineError::DeadlineExceeded {
+                    service.count_timed_out();
+                }
+                return Err(err);
+            }
         };
 
-        service.result_cache.insert(
-            signature,
-            execution.output.clone(),
-            shared.referenced_tables(),
-        );
+        // Never publish a result whose query ended cancelled or past its
+        // deadline — a racing close/expiry after the last checkpoint could
+        // otherwise pin a half-trusted output in the cache and serve it to
+        // the next identical submission.
+        if !handle.is_cancelled() && !handle.deadline_exceeded() {
+            service.result_cache.insert(
+                signature,
+                execution.output.clone(),
+                shared.referenced_tables(),
+            );
+        }
         Ok(ServiceResponse {
             output: execution.output,
             profile: Some(execution.profile),
@@ -251,9 +500,9 @@ impl Session {
         })
     }
 
-    /// Closes the session: cancels its in-flight queries and makes every
-    /// later (and queued) submission fail with
-    /// [`EngineError::SessionClosed`]. Idempotent.
+    /// Closes the session: immediately wakes every queued submission with
+    /// [`EngineError::SessionClosed`], cancels its in-flight queries, and
+    /// makes every later submission fail with the same error. Idempotent.
     pub fn close(&self) {
         self.inner.close();
     }

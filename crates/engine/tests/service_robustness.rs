@@ -1,0 +1,278 @@
+//! Directed regression tests for the service robustness layer: deadline
+//! results never reach the result cache, `close()` wakes queued
+//! submitters immediately, the overload policy sheds lowest-priority
+//! first, and `try_submit` never blocks. Companion to the randomized
+//! `proptest_faults.rs`; the failure taxonomy lives in
+//! `docs/architecture.md` §9.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, ScalarValue, TableBuilder};
+use apq_engine::plan::{OperatorSpec, Plan};
+use apq_engine::{EngineConfig, EngineError, QueryOutput, QueryService, ServiceConfig, Session};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+const ROWS: usize = 2_000;
+
+fn catalog() -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("t")
+            .i64_column("a", (0..ROWS as i64).map(|v| (v * 7919) % 1000).collect())
+            .i64_column("b", (0..ROWS as i64).map(|v| v % 101).collect())
+            .build()
+            .unwrap(),
+    );
+    Arc::new(c)
+}
+
+/// sum(b) where a < threshold — six nodes, so per-operator overhead adds up
+/// to a predictable execution time.
+fn sum_plan(threshold: i64) -> Plan {
+    let mut p = Plan::new();
+    let a = p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: "a".into(),
+            range: RowRange::new(0, ROWS),
+        },
+        vec![],
+    );
+    let b = p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: "b".into(),
+            range: RowRange::new(0, ROWS),
+        },
+        vec![],
+    );
+    let sel =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![a]);
+    let fetch = p.add(OperatorSpec::Fetch, vec![sel, b]);
+    let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+    let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    p.set_root(fin);
+    p
+}
+
+/// A service whose every operator takes ~`overhead_ms`, so queries run long
+/// enough to race closes/deadlines against deterministically.
+fn slow_service(overhead_ms: u64, max_queued: usize) -> QueryService {
+    let engine = EngineConfig {
+        per_operator_overhead_us: overhead_ms * 1_000,
+        ..EngineConfig::with_workers(2)
+    };
+    QueryService::new(ServiceConfig::with_engine(engine).with_max_queued(max_queued), catalog())
+}
+
+/// Polls until `cond` holds, failing after a generous watchdog.
+fn await_condition(label: &str, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < Duration::from_secs(20), "timed out waiting for {label}");
+        thread::yield_now();
+    }
+}
+
+#[test]
+fn timed_out_partial_outcome_is_never_served_to_the_next_submission() {
+    // ~20ms per operator: a 5ms deadline expires mid-execution, after
+    // dispatch began. The aborted query's partial state must not be
+    // cached: the identical follow-up submission must really execute and
+    // return the correct bytes.
+    let service = slow_service(20, 0);
+    let session = service.connect();
+    let plan = sum_plan(353);
+
+    let err = session
+        .submit_with_deadline(&plan, Duration::from_millis(5))
+        .expect_err("a 5ms deadline cannot survive ~120ms of operator overhead");
+    assert_eq!(err, EngineError::DeadlineExceeded);
+    assert_eq!(service.stats().timed_out, 1);
+    assert_eq!(service.result_cache_len(), 0, "timed-out outcome reached the result cache");
+
+    let retry = session.submit(&plan).expect("fresh submission executes");
+    assert!(!retry.result_cache_hit, "nothing may have been cached by the timed-out run");
+    assert!(retry.profile.is_some(), "the retry really executed");
+
+    // Sanity: the retry's output matches an overhead-free reference.
+    let reference = QueryService::new(ServiceConfig::default(), catalog());
+    let expected = reference.connect().submit(&plan).unwrap().output;
+    assert_eq!(retry.output, expected);
+
+    // An already-expired deadline fails even though the result is now
+    // cached: a passed deadline is never answered, not even for free.
+    let expired = session.submit_with_deadline(&plan, Duration::ZERO);
+    assert_eq!(expired.unwrap_err(), EngineError::DeadlineExceeded);
+    assert_eq!(service.stats().timed_out, 2);
+}
+
+#[test]
+fn close_wakes_queued_submitters_immediately() {
+    // Thread A holds the session's turn with a ~120ms query; thread B
+    // queues behind it. Closing the session must wake B with
+    // SessionClosed right away — not after A's query drains.
+    let service = slow_service(20, 0);
+    let session = service.connect();
+    let plan = sum_plan(353);
+
+    let a = {
+        let (session, plan) = (session.clone(), plan.clone());
+        thread::spawn(move || {
+            let started = Instant::now();
+            (session.submit(&plan), started.elapsed())
+        })
+    };
+    // B queues only once A holds the turn (a query is live in the engine).
+    await_condition("A's query to go live", || !service.engine().active_queries().is_empty());
+    let b = {
+        let (session, plan) = (session.clone(), plan.clone());
+        thread::spawn(move || {
+            let started = Instant::now();
+            (session.submit(&plan), started.elapsed())
+        })
+    };
+    await_condition("B to join the queue", || service.queued() == 1);
+
+    session.close();
+    let (b_result, b_elapsed) = b.join().unwrap();
+    let (a_result, _a_elapsed) = a.join().unwrap();
+
+    assert_eq!(b_result.unwrap_err(), EngineError::SessionClosed);
+    // Close also cancelled A's in-flight query.
+    assert_eq!(a_result.unwrap_err(), EngineError::Cancelled);
+    // "Immediately": had B been granted the turn and executed, its
+    // submission would have spent ≥120ms in operator overhead. Waking
+    // with SessionClosed must not involve running anything.
+    assert!(
+        b_elapsed < Duration::from_millis(60),
+        "B took {b_elapsed:?} to observe the close — it ran instead of waking"
+    );
+    assert_eq!(service.queued(), 0, "the queued census retained a woken waiter");
+}
+
+/// Spawns a submission on `session` once `ready` says the queue reached the
+/// expected shape, returning the join handle.
+fn submit_async(
+    session: &Session,
+    plan: &Plan,
+) -> thread::JoinHandle<Result<apq_engine::ServiceResponse, EngineError>> {
+    let (session, plan) = (session.clone(), plan.clone());
+    thread::spawn(move || session.submit(&plan))
+}
+
+#[test]
+fn overload_sheds_the_lowest_priority_waiter_first() {
+    // Queue bound 1. Low-priority session A: one running submission plus
+    // one queued waiter (census full). When a high-priority waiter needs
+    // the slot, A's queued waiter is shed with Overloaded; the
+    // high-priority one proceeds.
+    let service = slow_service(20, 1);
+    let low = service.connect(); // priority 0
+    let high = service.connect_with_priority(3);
+    let plan = sum_plan(353);
+
+    let low_running = submit_async(&low, &plan);
+    await_condition("low query to go live", || !service.engine().active_queries().is_empty());
+    let low_queued = submit_async(&low, &plan);
+    await_condition("low waiter to queue", || service.queued() == 1);
+
+    // Fill high's turn, then queue a second high submission: it needs a
+    // census slot, the census is full, and the only queued waiter is
+    // lower-priority — shed it.
+    let high_running = submit_async(&high, &plan);
+    await_condition("high query to go live", || service.engine().active_queries().len() == 2);
+    let high_queued = submit_async(&high, &plan);
+
+    let shed = low_queued.join().unwrap().expect_err("the low-priority waiter must be shed");
+    match shed {
+        EngineError::Overloaded { retry_after_hint } => {
+            assert!(
+                retry_after_hint >= Duration::from_millis(1),
+                "hint below the 1ms floor: {retry_after_hint:?}"
+            );
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+
+    for handle in [low_running, high_running, high_queued] {
+        handle.join().unwrap().expect("surviving submissions complete normally");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(service.queued(), 0);
+    assert!(service.engine().active_queries().is_empty());
+}
+
+#[test]
+fn newcomer_is_refused_when_nothing_queued_outranks_it() {
+    // Same-bound scenario, but the newcomer has the same priority as the
+    // queued waiter: nothing outranks it, so the *newcomer* gets
+    // Overloaded and the queue is untouched.
+    let service = slow_service(20, 1);
+    let session = service.connect();
+    let plan = sum_plan(353);
+
+    let running = submit_async(&session, &plan);
+    await_condition("query to go live", || !service.engine().active_queries().is_empty());
+    let queued = submit_async(&session, &plan);
+    await_condition("waiter to queue", || service.queued() == 1);
+
+    let refused = session.submit(&plan).expect_err("the census is full");
+    assert!(matches!(refused, EngineError::Overloaded { .. }), "got {refused}");
+    assert_eq!(service.queued(), 1, "the refusal must not evict the equal-priority waiter");
+
+    running.join().unwrap().expect("running submission completes");
+    queued.join().unwrap().expect("queued submission completes");
+    assert_eq!(service.stats().shed, 1);
+}
+
+#[test]
+fn try_submit_refuses_instead_of_queueing() {
+    let service = slow_service(20, 0);
+    let session = service.connect();
+    let plan = sum_plan(353);
+
+    // Idle session: try_submit executes like submit.
+    let first = session.try_submit(&plan).expect("idle session accepts try_submit");
+    assert!(matches!(first.output, QueryOutput::Scalar(ScalarValue::I64(_))));
+
+    // Busy session: try_submit returns Overloaded without waiting.
+    service.invalidate_results(); // force the next submissions to execute
+    let running = submit_async(&session, &plan);
+    await_condition("query to go live", || !service.engine().active_queries().is_empty());
+    let started = Instant::now();
+    let refused = session.try_submit(&plan).expect_err("busy session refuses try_submit");
+    let elapsed = started.elapsed();
+    assert!(matches!(refused, EngineError::Overloaded { .. }), "got {refused}");
+    assert!(
+        elapsed < Duration::from_millis(50),
+        "try_submit blocked for {elapsed:?} instead of refusing immediately"
+    );
+    running.join().unwrap().expect("running submission completes");
+    assert_eq!(service.stats().shed, 1);
+}
+
+#[test]
+fn cancelled_submissions_never_reach_the_result_cache() {
+    // A close that races a running submission cancels it; the cancelled
+    // outcome must not be cached for the next client.
+    let service = slow_service(20, 0);
+    let session = service.connect();
+    let plan = sum_plan(101);
+
+    let running = submit_async(&session, &plan);
+    await_condition("query to go live", || !service.engine().active_queries().is_empty());
+    session.close();
+    assert_eq!(running.join().unwrap().unwrap_err(), EngineError::Cancelled);
+    assert_eq!(service.result_cache_len(), 0, "cancelled outcome reached the result cache");
+
+    // A fresh session re-executes and gets the true result.
+    let fresh = service.connect();
+    let response = fresh.submit(&plan).expect("fresh session executes");
+    assert!(!response.result_cache_hit);
+    assert!(matches!(response.output, QueryOutput::Scalar(ScalarValue::I64(_))));
+}

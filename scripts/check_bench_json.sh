@@ -29,6 +29,12 @@ case "$kind" in
       'staged_departure'
       'mean_response_ms'
       'mean_admit_dop'
+      '"overload"'
+      '"shed"'
+      '"timed_out"'
+      'p99_response_ms'
+      '"chaos"'
+      'faults_injected'
     )
     ;;
   *)

@@ -1,0 +1,352 @@
+//! Chaos suite: seeded fault schedules across the full execution matrix
+//! (2 scheduler policies × 2 execution modes × controller on/off).
+//!
+//! Every cell must satisfy the robustness contract of
+//! `docs/architecture.md` §9:
+//!
+//! * **no hang** — the whole cell finishes under a watchdog deadline,
+//! * **no leaked DOP slots** — every retained handle reads `running() == 0`
+//!   after the drain,
+//! * **census consistent** — the live-query registry is empty afterwards,
+//! * **reproducible** — the same seed yields the same pass/fail pattern
+//!   and byte-identical successful outputs on a rerun, and fault-free
+//!   seeds (quiet / timing-only) are byte-identical to the fault-free
+//!   reference engine.
+//!
+//! The seed matrix here is fixed and mirrored by the CI `chaos` job.
+
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use adaptive_parallelization::engine::{
+    ControllerConfig, DopPhase, Engine, EngineConfig, EngineError, ExecutionMode, FaultConfig,
+    OperatorSpec, Plan, QueryOptions, QueryOutput, SchedulerPolicy,
+};
+use apq_columnar::partition::RowRange;
+use apq_columnar::{Catalog, TableBuilder};
+use apq_operators::{AggFunc, CmpOp, Predicate};
+
+const WORKERS: usize = 4;
+const MORSEL_ROWS: usize = 500;
+const ROWS: usize = 6_000;
+/// Fixed seed matrix, mirrored by the CI chaos job.
+const SEEDS: [u64; 3] = [11, 42, 2016];
+/// Per-cell watchdog: generous next to the µs-scale injected delays, but
+/// finite — a hung drain fails the test instead of wedging CI.
+const CELL_DEADLINE: Duration = Duration::from_secs(120);
+
+fn catalog() -> Arc<Catalog> {
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("t")
+            .i64_column("a", (0..ROWS as i64).map(|v| (v * 7) % 1000).collect())
+            .i64_column("b", (0..ROWS as i64).map(|v| (v * 13) % 97 - 48).collect())
+            .build()
+            .unwrap(),
+    );
+    Arc::new(c)
+}
+
+fn scan(p: &mut Plan, column: &str) -> usize {
+    p.add(
+        OperatorSpec::ScanColumn {
+            table: "t".into(),
+            column: column.into(),
+            range: RowRange::new(0, ROWS),
+        },
+        vec![],
+    )
+}
+
+/// `SELECT sum(col) FROM t WHERE col < threshold` — scan/select/fetch/agg,
+/// enough plan surface that chaos sites land on varied operator kinds.
+fn filtered_sum(column: &str, threshold: i64) -> Plan {
+    let mut p = Plan::new();
+    let s = scan(&mut p, column);
+    let sel =
+        p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, threshold) }, vec![s]);
+    let fetch = p.add(OperatorSpec::Fetch, vec![sel, s]);
+    let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![fetch]);
+    let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    p.set_root(fin);
+    p
+}
+
+fn plain_sum(column: &str) -> Plan {
+    let mut p = Plan::new();
+    let s = scan(&mut p, column);
+    let agg = p.add(OperatorSpec::ScalarAgg { func: AggFunc::Sum }, vec![s]);
+    let fin = p.add(OperatorSpec::FinalizeAgg { func: AggFunc::Sum }, vec![agg]);
+    p.set_root(fin);
+    p
+}
+
+fn workload() -> Vec<Plan> {
+    vec![
+        plain_sum("a"),
+        plain_sum("b"),
+        filtered_sum("a", 500),
+        filtered_sum("b", 0),
+        filtered_sum("a", 120),
+        filtered_sum("b", 30),
+    ]
+}
+
+fn engine(
+    policy: SchedulerPolicy,
+    mode: ExecutionMode,
+    controller: bool,
+    faults: FaultConfig,
+) -> Engine {
+    let mut config = EngineConfig::with_workers(WORKERS)
+        .with_scheduler(policy)
+        .with_execution_mode(mode)
+        .with_morsel_rows(MORSEL_ROWS)
+        .with_faults(faults);
+    if controller {
+        config = config.with_controller(
+            ControllerConfig::default()
+                .with_tick(Duration::from_micros(200))
+                .with_total_dop(WORKERS),
+        );
+    }
+    Engine::new(config)
+}
+
+/// Runs `f` under the cell watchdog; a cell that does not finish in time
+/// fails the test loudly instead of hanging the whole suite.
+fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(CELL_DEADLINE) {
+        Ok(value) => {
+            worker.join().expect("cell worker exits after reporting");
+            value
+        }
+        Err(_) => panic!("{label}: chaos cell exceeded the {CELL_DEADLINE:?} watchdog (hang)"),
+    }
+}
+
+/// Submits the workload serially (query ids — and therefore fault sites —
+/// are deterministic), returning each submission's outcome. Verifies the
+/// per-cell robustness contract before returning.
+fn run_cell(
+    policy: SchedulerPolicy,
+    mode: ExecutionMode,
+    controller: bool,
+    faults: FaultConfig,
+) -> Vec<Result<QueryOutput, EngineError>> {
+    let catalog = catalog();
+    let engine = engine(policy, mode, controller, faults);
+    let mut outcomes = Vec::new();
+    let mut handles = Vec::new();
+    for round in 0..2 {
+        for plan in &workload() {
+            let shared = Arc::new(plan.clone());
+            let handle = engine.register_query(QueryOptions { priority: 0, admitted_dop: 0 });
+            // Round 1 resubmits with an already-expired deadline on every
+            // other query: deterministic DeadlineExceeded, zero dispatch.
+            if round == 1 && handle.id().is_multiple_of(2) {
+                handle.set_deadline(Duration::ZERO);
+            }
+            handles.push(Arc::clone(&handle));
+            let outcome = engine
+                .execute_with_handle(&shared, &catalog, Arc::clone(&handle))
+                .map(|exec| exec.output);
+            outcomes.push(outcome);
+        }
+    }
+    // Census consistent: nothing left registered once every submission
+    // returned.
+    assert!(
+        engine.active_queries().is_empty(),
+        "[{policy}/{mode:?}/ctl={controller}] live-query registry not drained"
+    );
+    // No leaked DOP slots, successful or failed alike.
+    for handle in &handles {
+        assert_eq!(
+            handle.running(),
+            0,
+            "[{policy}/{mode:?}/ctl={controller}] query {} leaked a DOP slot",
+            handle.id()
+        );
+    }
+    outcomes
+}
+
+fn allowed_chaos_error(err: &EngineError) -> bool {
+    matches!(
+        err,
+        EngineError::Cancelled | EngineError::DeadlineExceeded | EngineError::WorkerPanicked(_)
+    )
+}
+
+#[test]
+fn chaos_matrix_terminates_cleanly_and_reproduces_from_the_seed() {
+    for seed in SEEDS {
+        for policy in SchedulerPolicy::ALL {
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                for controller in [false, true] {
+                    let label = format!("seed {seed} [{policy}/{mode:?}/ctl={controller}]");
+                    let (first, second) = with_watchdog(&label, move || {
+                        (
+                            run_cell(policy, mode, controller, FaultConfig::chaos(seed)),
+                            run_cell(policy, mode, controller, FaultConfig::chaos(seed)),
+                        )
+                    });
+                    assert_eq!(first.len(), second.len());
+                    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+                        match (a, b) {
+                            // Outcome-changing faults are site-keyed: the
+                            // same seed must fail the same submissions and
+                            // produce byte-identical successes. (The *kind*
+                            // of failure may differ when two injected
+                            // faults race inside one query.)
+                            (Ok(x), Ok(y)) => {
+                                assert_eq!(x, y, "{label}: submission {i} output diverged")
+                            }
+                            (Err(x), Err(y)) => {
+                                assert!(allowed_chaos_error(x), "{label}: unexpected error {x}");
+                                assert!(allowed_chaos_error(y), "{label}: unexpected error {y}");
+                            }
+                            _ => panic!(
+                                "{label}: submission {i} flipped between identical seeded runs \
+                                 ({a:?} vs {b:?})"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_seeds_are_byte_identical_to_the_reference() {
+    let catalog = catalog();
+    let reference = Engine::with_workers(WORKERS);
+    for seed in SEEDS {
+        for policy in SchedulerPolicy::ALL {
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                // `quiet` injects nothing; `timing_only` injects delays and
+                // stalls, which stretch wall-clock but may not change any
+                // result byte.
+                for faults in [FaultConfig::quiet(seed), FaultConfig::timing_only(seed)] {
+                    let engine = engine(policy, mode, false, faults);
+                    for plan in &workload() {
+                        let expected =
+                            reference.execute(plan, &catalog).expect("reference executes").output;
+                        let got = engine
+                            .execute(plan, &catalog)
+                            .expect("fault-free seed executes")
+                            .output;
+                        assert_eq!(
+                            got, expected,
+                            "seed {seed} [{policy}/{mode:?}]: fault-free run diverged"
+                        );
+                    }
+                    let stats = engine.fault_stats();
+                    assert_eq!(stats.panics, 0, "timing-only/quiet seeds never panic");
+                    assert_eq!(stats.cancels, 0, "timing-only/quiet seeds never cancel");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn already_expired_deadline_fails_before_any_dispatch() {
+    // Acceptance criterion: a query submitted with an expired deadline
+    // fails with DeadlineExceeded without dispatching a single task.
+    let catalog = catalog();
+    for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+        let engine = Engine::new(
+            EngineConfig::with_workers(2).with_execution_mode(mode).with_morsel_rows(MORSEL_ROWS),
+        );
+        let handle = engine.register_query(QueryOptions { priority: 0, admitted_dop: 0 });
+        handle.set_deadline(Duration::ZERO);
+        let shared = Arc::new(filtered_sum("a", 500));
+        let err = engine
+            .execute_with_handle(&shared, &catalog, Arc::clone(&handle))
+            .expect_err("expired deadline must not execute");
+        assert_eq!(err, EngineError::DeadlineExceeded, "[{mode:?}]");
+        assert_eq!(handle.signals().dispatched, 0, "[{mode:?}]: a task was dispatched");
+        assert_eq!(handle.running(), 0, "[{mode:?}]");
+        // The expiry landed in the DOP timeline exactly once.
+        let timeouts =
+            handle.dop_timeline().iter().filter(|e| e.phase == DopPhase::Timeout).count();
+        assert_eq!(timeouts, 1, "[{mode:?}]: expected exactly one Timeout event");
+    }
+}
+
+#[test]
+fn mid_flight_deadlines_abort_at_checkpoints_without_leaks() {
+    // Delays stretch execution so a tight (but nonzero) deadline expires
+    // mid-flight for at least some submissions; whatever the outcome, the
+    // engine must drain clean.
+    let catalog = catalog();
+    for policy in SchedulerPolicy::ALL {
+        let engine =
+            engine(policy, ExecutionMode::MorselDriven, false, FaultConfig::timing_only(7));
+        let mut timed_out = 0;
+        for (i, plan) in workload().iter().cycle().take(24).enumerate() {
+            let shared = Arc::new(plan.clone());
+            let handle = engine.register_query(QueryOptions { priority: 0, admitted_dop: 0 });
+            // Sweep the deadline from "hopeless" to "comfortable".
+            handle.set_deadline(Duration::from_micros(50 * (i as u64 + 1)));
+            match engine.execute_with_handle(&shared, &catalog, Arc::clone(&handle)) {
+                Ok(_) => {}
+                Err(EngineError::DeadlineExceeded) => {
+                    timed_out += 1;
+                    let timeouts = handle
+                        .dop_timeline()
+                        .iter()
+                        .filter(|e| e.phase == DopPhase::Timeout)
+                        .count();
+                    assert_eq!(timeouts, 1, "[{policy}]: Timeout event recorded once");
+                }
+                Err(other) => panic!("[{policy}]: unexpected error {other}"),
+            }
+            assert_eq!(handle.running(), 0, "[{policy}]: query {i} leaked a DOP slot");
+        }
+        assert!(engine.active_queries().is_empty(), "[{policy}]: registry not drained");
+        // With 50µs–1.2ms deadlines over delay-stretched queries, at least
+        // the tightest submissions must have expired.
+        assert!(timed_out > 0, "[{policy}]: deadline sweep never timed out");
+    }
+}
+
+#[test]
+fn controller_tick_watchdog_contains_scripted_panics() {
+    // Scripted tick panics must be contained by the watchdog: the restart
+    // counter moves, later ticks run normally, and queries still execute.
+    let catalog = catalog();
+    let engine = Engine::new(
+        EngineConfig::with_workers(2)
+            .with_controller(
+                // An hour-long tick: the background thread stays out of the
+                // way and the synchronous ticks below consume the scripted
+                // indices (the counter is shared, so a stray background
+                // tick only shifts which call hits the panic).
+                ControllerConfig::default().with_tick(Duration::from_secs(3_600)),
+            )
+            .with_faults(
+                FaultConfig::quiet(3).with_controller_tick_panic(0).with_controller_tick_panic(1),
+            ),
+    );
+    engine.controller_tick();
+    engine.controller_tick();
+    assert!(
+        engine.controller_restarts() >= 1,
+        "scripted tick panic was not contained/counted by the watchdog"
+    );
+    // The controller survived: a later tick and a real query both work.
+    engine.controller_tick();
+    let plan = plain_sum("a");
+    let expected = Engine::with_workers(2).execute(&plan, &catalog).unwrap().output;
+    let got = engine.execute(&plan, &catalog).expect("engine healthy after tick panics").output;
+    assert_eq!(got, expected);
+}
