@@ -23,7 +23,9 @@
 use std::sync::Arc;
 
 use apq_baselines::heuristic_parallelize;
-use apq_engine::{ControllerConfig, Engine, EngineConfig, ExecutionMode, SchedulerPolicy};
+use apq_engine::{
+    ControllerConfig, Engine, EngineConfig, ExecutionMode, SchedulerPolicy, SharingConfig,
+};
 use apq_workloads::tpch::{self, queries::q14, TpchScale};
 
 use crate::common::{adaptive, engine};
@@ -185,7 +187,47 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<ExperimentTable> {
         }
     }
 
-    vec![metrics, ap_trace, hp_trace, counters, morsel_counters]
+    // Work-sharing competitor rows: the same heuristic Q14 plan submitted
+    // four times back-to-back per cell (2 policies × sharing on/off, fresh
+    // morsel engine per cell). With sharing on, repeats reuse the first
+    // run's scan-group windows and aggregate partials; outputs are asserted
+    // identical to the unshared execution either way.
+    let mut sharing_rows = ExperimentTable::new(
+        "Figures 19/20 (shared scans)",
+        "heuristic Q14 ×4 per cell, by scheduling policy and work-sharing toggle",
+        &["policy", "sharing", "queries", "morsels_shared", "morsels_private", "partials_reused"],
+    );
+    const SHARING_REPEATS: usize = 4;
+    for policy in SchedulerPolicy::ALL {
+        for sharing in [false, true] {
+            let mut config = EngineConfig::with_workers(workers)
+                .with_scheduler(policy)
+                .with_execution_mode(ExecutionMode::MorselDriven)
+                .with_morsel_rows(cfg.morsel_rows);
+            if sharing {
+                config = config.with_sharing(SharingConfig::default());
+            }
+            let probe = Engine::new(config);
+            for _ in 0..SHARING_REPEATS {
+                let exec = probe.execute_shared(&hp_shared, &catalog).expect("HP executes");
+                assert_eq!(
+                    exec.output, hp_exec.output,
+                    "{policy}/sharing={sharing}: shared execution diverged"
+                );
+            }
+            let stats = probe.sharing_stats();
+            sharing_rows.row(vec![
+                policy.to_string(),
+                if sharing { "on" } else { "off" }.to_string(),
+                SHARING_REPEATS.to_string(),
+                stats.morsels_shared.to_string(),
+                stats.morsels_private.to_string(),
+                stats.partials_reused.to_string(),
+            ]);
+        }
+    }
+
+    vec![metrics, ap_trace, hp_trace, counters, morsel_counters, sharing_rows]
 }
 
 #[cfg(test)]
@@ -196,7 +238,7 @@ mod tests {
     fn produces_metrics_two_traces_and_scheduler_counters() {
         let cfg = ExperimentConfig::smoke();
         let tables = run(&cfg);
-        assert_eq!(tables.len(), 5);
+        assert_eq!(tables.len(), 6);
         // Two plans × (operator-at-a-time, morsel, morsel + controller).
         assert_eq!(tables[0].len(), 6);
         // The controller rows really ran morsel-wise too.
@@ -244,5 +286,19 @@ mod tests {
             totals.push(morsels);
         }
         assert_eq!(totals[0], totals[1], "morsel fan-out differed across policies");
+        // Shared-scan rows: 2 policies × sharing on/off. With sharing off
+        // nothing is ever shared or reused; with sharing on the ×4 repeats
+        // must have hit group windows and/or cached partials.
+        let sharing_rows = &tables[5];
+        assert_eq!(sharing_rows.len(), 4);
+        for row in &sharing_rows.rows {
+            let shared: u64 = row[3].parse().unwrap();
+            let reused: u64 = row[5].parse().unwrap();
+            if row[1] == "off" {
+                assert_eq!(shared + reused, 0, "{}: sharing-off row shared work", row[0]);
+            } else {
+                assert!(shared + reused > 0, "{}: sharing-on repeats shared nothing", row[0]);
+            }
+        }
     }
 }

@@ -47,6 +47,11 @@ pub struct ServiceBenchConfig {
     pub overload_max_queued: usize,
     /// Submissions in the fixed-seed chaos probe.
     pub chaos_submissions: usize,
+    /// Concurrent sessions in the shared-scan experiment (all scanning the
+    /// same tables).
+    pub shared_scan_sessions: usize,
+    /// Submissions per shared-scan session.
+    pub shared_scan_submissions: usize,
     /// Label recorded in the JSON (`"full"` / `"smoke"`).
     pub mode: &'static str,
 }
@@ -67,6 +72,8 @@ impl ServiceBenchConfig {
             overload_submissions: 24,
             overload_max_queued: 4,
             chaos_submissions: 32,
+            shared_scan_sessions: 16,
+            shared_scan_submissions: 4,
             mode: "full",
         }
     }
@@ -86,6 +93,8 @@ impl ServiceBenchConfig {
             overload_submissions: 6,
             overload_max_queued: 1,
             chaos_submissions: 8,
+            shared_scan_sessions: 8,
+            shared_scan_submissions: 2,
             mode: "smoke",
         }
     }
@@ -388,6 +397,78 @@ fn run_chaos_probe(cfg: &ServiceBenchConfig) -> ChaosReport {
     }
 }
 
+struct SharedScanReport {
+    sessions: usize,
+    submissions: u64,
+    off_elapsed_ms: f64,
+    on_elapsed_ms: f64,
+    scan_groups: u64,
+    morsels_shared: u64,
+    morsels_private: u64,
+    partials_reused: u64,
+}
+
+/// Shared-scan experiment: `cfg.shared_scan_sessions` concurrent sessions
+/// submit the same scan-heavy TPC-H mix against one service, once with the
+/// work-sharing subsystem off and once with it on. The result cache is
+/// disabled in both runs so every submission reaches the engine — the
+/// contrast isolates cooperative scan windows and partial-aggregate reuse,
+/// not result memoization. Outputs are asserted identical across the two
+/// runs; the sharing run additionally reports the engine's sharing
+/// counters.
+fn run_shared_scan(cfg: &ServiceBenchConfig) -> SharedScanReport {
+    let drive = |shared: bool| {
+        let svc = QueryService::new(
+            ServiceConfig::with_engine(
+                EngineConfig::with_workers(cfg.workers)
+                    .with_scheduler(SchedulerPolicy::WorkStealing)
+                    .with_execution_mode(ExecutionMode::MorselDriven),
+            )
+            .with_shared_scans(shared)
+            .with_result_cache_capacity(0),
+            tpch::generate(TpchScale::new(cfg.tpch_sf), 1234),
+        );
+        let plans = Arc::new(query_mix(&svc));
+        let start = Instant::now();
+        let threads: Vec<_> = (0..cfg.shared_scan_sessions.max(1))
+            .map(|s| {
+                let svc = svc.clone();
+                let plans = Arc::clone(&plans);
+                let reps = cfg.shared_scan_submissions.max(1);
+                std::thread::spawn(move || {
+                    let session = svc.connect();
+                    (0..reps)
+                        .map(|i| {
+                            session
+                                .submit(&plans[(s + i) % plans.len()])
+                                .expect("shared-scan submission succeeds")
+                                .output
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let outputs: Vec<_> =
+            threads.into_iter().map(|t| t.join().expect("shared-scan thread panicked")).collect();
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        assert!(svc.engine().active_queries().is_empty(), "census must drain after shared scans");
+        (elapsed_ms, outputs, svc.stats())
+    };
+    let (off_elapsed_ms, off_outputs, _) = drive(false);
+    let (on_elapsed_ms, on_outputs, on_stats) = drive(true);
+    assert_eq!(off_outputs, on_outputs, "sharing changed a query result");
+    SharedScanReport {
+        sessions: cfg.shared_scan_sessions.max(1),
+        submissions: (cfg.shared_scan_sessions.max(1) * cfg.shared_scan_submissions.max(1)) as u64,
+        off_elapsed_ms,
+        on_elapsed_ms,
+        scan_groups: on_stats.scan_groups,
+        morsels_shared: on_stats.morsels_shared,
+        morsels_private: on_stats.morsels_private,
+        partials_reused: on_stats.partials_reused,
+    }
+}
+
 /// Runs the full benchmark, returning the report as a JSON string.
 pub fn run(cfg: &ServiceBenchConfig) -> String {
     let churn = run_churn(cfg);
@@ -395,6 +476,7 @@ pub fn run(cfg: &ServiceBenchConfig) -> String {
     let unbounded = run_overload(cfg, 0);
     let bounded = run_overload(cfg, cfg.overload_max_queued.max(1));
     let chaos = run_chaos_probe(cfg);
+    let shared = run_shared_scan(cfg);
     let stage_rows: Vec<String> = stages
         .iter()
         .map(|s| {
@@ -412,7 +494,7 @@ pub fn run(cfg: &ServiceBenchConfig) -> String {
         )
     };
     format!(
-        "{{\n  \"bench\": \"service\",\n  \"mode\": \"{mode}\",\n  \"config\": {{ \"sessions\": {sessions}, \"queries_per_session\": {qps}, \"churn_threads\": {threads}, \"departure_clients\": {clients}, \"submissions_per_stage\": {per_stage}, \"workers\": {workers}, \"tpch_sf\": {sf} }},\n  \"client_churn\": {{\n    \"sessions\": {churn_sessions},\n    \"queries\": {queries},\n    \"elapsed_ms\": {elapsed:.3},\n    \"throughput_qps\": {qps_rate:.1},\n    \"sessions_per_sec\": {sps:.1},\n    \"result_cache_hits\": {hits},\n    \"result_cache_misses\": {misses},\n    \"plan_cache_hits\": {plan_hits}\n  }},\n  \"staged_departure\": {{\n    \"stages\": [\n{stages}\n    ]\n  }},\n  \"overload\": {{\n    \"unbounded\": {unbounded},\n    \"bounded\": {bounded}\n  }},\n  \"chaos\": {{ \"seed\": {chaos_seed}, \"submissions\": {chaos_subs}, \"ok\": {chaos_ok}, \"failed\": {chaos_failed}, \"faults_injected\": {chaos_faults} }}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"mode\": \"{mode}\",\n  \"config\": {{ \"sessions\": {sessions}, \"queries_per_session\": {qps}, \"churn_threads\": {threads}, \"departure_clients\": {clients}, \"submissions_per_stage\": {per_stage}, \"workers\": {workers}, \"tpch_sf\": {sf} }},\n  \"client_churn\": {{\n    \"sessions\": {churn_sessions},\n    \"queries\": {queries},\n    \"elapsed_ms\": {elapsed:.3},\n    \"throughput_qps\": {qps_rate:.1},\n    \"sessions_per_sec\": {sps:.1},\n    \"result_cache_hits\": {hits},\n    \"result_cache_misses\": {misses},\n    \"plan_cache_hits\": {plan_hits}\n  }},\n  \"staged_departure\": {{\n    \"stages\": [\n{stages}\n    ]\n  }},\n  \"overload\": {{\n    \"unbounded\": {unbounded},\n    \"bounded\": {bounded}\n  }},\n  \"chaos\": {{ \"seed\": {chaos_seed}, \"submissions\": {chaos_subs}, \"ok\": {chaos_ok}, \"failed\": {chaos_failed}, \"faults_injected\": {chaos_faults} }},\n  \"shared_scan\": {{\n    \"sessions\": {ss_sessions},\n    \"submissions\": {ss_subs},\n    \"off\": {{ \"elapsed_ms\": {ss_off:.3}, \"throughput_qps\": {ss_off_qps:.1} }},\n    \"on\": {{ \"elapsed_ms\": {ss_on:.3}, \"throughput_qps\": {ss_on_qps:.1}, \"scan_groups\": {ss_groups}, \"morsels_shared\": {ss_shared}, \"morsels_private\": {ss_private}, \"partials_reused\": {ss_reused} }}\n  }}\n}}\n",
         mode = cfg.mode,
         sessions = cfg.sessions,
         qps = cfg.queries_per_session,
@@ -437,6 +519,17 @@ pub fn run(cfg: &ServiceBenchConfig) -> String {
         chaos_ok = chaos.ok,
         chaos_failed = chaos.failed,
         chaos_faults = chaos.faults_injected,
+        ss_sessions = shared.sessions,
+        ss_subs = shared.submissions,
+        ss_off = shared.off_elapsed_ms,
+        ss_off_qps =
+            shared.submissions as f64 / (shared.off_elapsed_ms / 1_000.0).max(f64::EPSILON),
+        ss_on = shared.on_elapsed_ms,
+        ss_on_qps = shared.submissions as f64 / (shared.on_elapsed_ms / 1_000.0).max(f64::EPSILON),
+        ss_groups = shared.scan_groups,
+        ss_shared = shared.morsels_shared,
+        ss_private = shared.morsels_private,
+        ss_reused = shared.partials_reused,
     )
 }
 
@@ -462,6 +555,9 @@ mod tests {
             "p99_response_ms",
             "\"chaos\"",
             "faults_injected",
+            "\"shared_scan\"",
+            "morsels_shared",
+            "partials_reused",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -493,6 +589,21 @@ mod tests {
     fn chaos_probe_accounts_for_every_submission() {
         let report = run_chaos_probe(&ServiceBenchConfig::smoke());
         assert_eq!(report.ok + report.failed, report.submissions);
+    }
+
+    #[test]
+    fn shared_scan_run_shares_morsels_and_reuses_partials() {
+        let report = run_shared_scan(&ServiceBenchConfig::smoke());
+        // 8 sessions × 2 submissions over a 2-plan mix: repeats are
+        // guaranteed, so the sharing run must have served morsels from
+        // group windows and resumed aggregates from cached partials.
+        assert!(report.scan_groups > 0, "no scan groups formed");
+        assert!(report.morsels_shared > 0, "no morsel was served from a shared window");
+        assert!(
+            report.morsels_shared + report.partials_reused > 0 && report.morsels_private > 0,
+            "sharing run recorded no private pass at all"
+        );
+        assert_eq!(report.submissions, 16);
     }
 
     #[test]

@@ -123,6 +123,11 @@ pub struct ControllerConfig {
     /// observe for a query before acting on its morsel size. Ticks below
     /// the floor leave the query untouched and keep the signal window open.
     pub min_signal_us: u64,
+    /// When set, the DOP lever splits the pool proportionally to query
+    /// priority instead of equally: each governed query weighs
+    /// `priority + 1` and is granted `max(1, total · w / Σw)`. Off by
+    /// default (equal shares), preserving the paper's baseline behavior.
+    pub weighted_shares: bool,
 }
 
 impl Default for ControllerConfig {
@@ -137,6 +142,7 @@ impl Default for ControllerConfig {
             widen_wait_share: 0.5,
             narrow_wait_share: 0.1,
             min_signal_us: 200,
+            weighted_shares: false,
         }
     }
 }
@@ -164,6 +170,12 @@ impl ControllerConfig {
     /// Enables/disables the adaptive morsel-size lever (builder style).
     pub fn with_adaptive_morsels(mut self, enabled: bool) -> Self {
         self.adaptive_morsels = enabled;
+        self
+    }
+
+    /// Enables/disables priority-weighted DOP shares (builder style).
+    pub fn with_weighted_shares(mut self, enabled: bool) -> Self {
+        self.weighted_shares = enabled;
         self
     }
 
@@ -215,6 +227,19 @@ pub(crate) fn is_governed(handle: &QueryHandle) -> bool {
 /// re-grants).
 pub(crate) fn equal_share(total: usize, n_governed: usize) -> usize {
     (total / n_governed.max(1)).max(1)
+}
+
+/// A query's DOP weight under [`ControllerConfig::weighted_shares`]:
+/// `priority + 1`, so priority-0 queries still weigh something and a
+/// priority-3 query is entitled to 4× their slice of the pool.
+pub(crate) fn share_weight(priority: u8) -> usize {
+    priority as usize + 1
+}
+
+/// The weighted-share DOP target: `max(1, total · weight / weight_sum)`
+/// (shared by admit-time grants and tick re-grants, like [`equal_share`]).
+pub(crate) fn weighted_share(total: usize, weight: usize, weight_sum: usize) -> usize {
+    (total * weight / weight_sum.max(1)).max(1)
 }
 
 /// Per-query cumulative-signal snapshot from the previous tick, so each
@@ -282,9 +307,11 @@ impl ResourceController {
         TickReport { dop_changes, morsel_changes, governed }
     }
 
-    /// Lever 1: equal-share elastic DOP. Governed queries (nonzero cap,
-    /// not cancelled) each get `max(1, total / n_governed)`; writes only on
-    /// change, so an unchanged population produces no timeline noise.
+    /// Lever 1: elastic DOP. Governed queries (nonzero cap, not cancelled)
+    /// each get `max(1, total / n_governed)` — or, under
+    /// [`ControllerConfig::weighted_shares`], a slice proportional to
+    /// `priority + 1`. Writes only on change, so an unchanged population
+    /// produces no timeline noise.
     fn rebalance_dop(&self, active: &[Arc<QueryHandle>], governed_out: &mut usize) -> usize {
         let governed: Vec<&Arc<QueryHandle>> = active.iter().filter(|h| is_governed(h)).collect();
         *governed_out = governed.len();
@@ -292,9 +319,14 @@ impl ResourceController {
             return 0;
         }
         let total = if self.config.total_dop == 0 { self.n_workers } else { self.config.total_dop };
-        let target = equal_share(total, governed.len());
+        let weight_sum: usize = governed.iter().map(|h| share_weight(h.priority())).sum();
         let mut changes = 0;
         for handle in governed {
+            let target = if self.config.weighted_shares {
+                weighted_share(total, share_weight(handle.priority()), weight_sum)
+            } else {
+                equal_share(total, *governed_out)
+            };
             if handle.admitted_dop() != target {
                 handle.set_admitted_dop(target);
                 changes += 1;
@@ -388,6 +420,34 @@ mod tests {
         let g = handle(7, 1);
         ctrl.tick(&[a.clone(), e, f, g], 0);
         assert_eq!(a.admitted_dop(), 1);
+    }
+
+    #[test]
+    fn weighted_shares_split_the_pool_by_priority() {
+        let ctrl = ResourceController::new(
+            ControllerConfig::default()
+                .with_adaptive_morsels(false)
+                .with_weighted_shares(true)
+                .with_total_dop(8),
+            4,
+            8_192,
+        );
+        // Priorities 3 and 0: weights 4 and 1, so the pool of 8 splits into
+        // 8·4/5 = 6 and 8·1/5 = 1.
+        let hp = Arc::new(QueryHandle::new(1, 3, 1));
+        let lp = Arc::new(QueryHandle::new(2, 0, 1));
+        let report = ctrl.tick(&[hp.clone(), lp.clone()], 0);
+        assert_eq!(report.governed, 2);
+        assert_eq!(hp.admitted_dop(), 6);
+        assert_eq!(lp.admitted_dop(), 1, "low-priority share floors at 1");
+        // Idempotent over an unchanged population.
+        assert_eq!(ctrl.tick(&[hp.clone(), lp.clone()], 0).actions(), 0);
+        // Equal priorities degrade to equal shares.
+        let a = Arc::new(QueryHandle::new(3, 1, 1));
+        let b = Arc::new(QueryHandle::new(4, 1, 1));
+        ctrl.tick(&[a.clone(), b.clone()], 0);
+        assert_eq!(a.admitted_dop(), 4);
+        assert_eq!(b.admitted_dop(), 4);
     }
 
     #[test]

@@ -33,7 +33,8 @@ use apq_columnar::Catalog;
 
 use crate::chunk::{Chunk, QueryOutput};
 use crate::controller::{
-    equal_share, is_governed, ControllerConfig, ResourceController, TickReport,
+    equal_share, is_governed, share_weight, weighted_share, ControllerConfig, ResourceController,
+    TickReport,
 };
 use crate::error::{EngineError, Result};
 use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
@@ -47,6 +48,7 @@ use crate::profiler::{DopPhase, OperatorProfile, PipelineProfile, QueryProfile};
 use crate::scheduler::{
     QueryHandle, Scheduler, SchedulerPolicy, SchedulerStats, Task, TaskContext,
 };
+use crate::sharing::{ScanRegistry, SharedScan, SharingConfig, SharingStats};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -82,6 +84,12 @@ pub struct EngineConfig {
     /// through the panic-guarded operator runner and both scheduler
     /// policies' dispatch loops. `None` (default) disables the chaos layer.
     pub faults: Option<FaultConfig>,
+    /// Multi-query work sharing ([`crate::sharing`]): cooperative shared
+    /// scans (each morsel window of a table produced once and fanned to
+    /// every concurrent consumer) and bounded partial-aggregate reuse.
+    /// `None` (default) disables the subsystem — every query then scans
+    /// privately, exactly as before.
+    pub sharing: Option<SharingConfig>,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +103,7 @@ impl Default for EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             controller: None,
             faults: None,
+            sharing: None,
         }
     }
 }
@@ -135,6 +144,13 @@ impl EngineConfig {
     /// [`crate::fault`] for the chaos-layer specification.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables multi-query work sharing (builder style); see
+    /// [`crate::sharing`] for the shared-scan and partial-reuse protocols.
+    pub fn with_sharing(mut self, sharing: SharingConfig) -> Self {
+        self.sharing = Some(sharing);
         self
     }
 }
@@ -233,6 +249,8 @@ pub struct Engine {
     controller_thread: Option<JoinHandle<()>>,
     /// Chaos layer ([`crate::fault`]); `None` when disabled.
     faults: Option<Arc<FaultInjector>>,
+    /// Work-sharing coordinator ([`crate::sharing`]); `None` when disabled.
+    sharing: Option<Arc<ScanRegistry>>,
     /// Monotonic controller tick number, shared by the background loop and
     /// [`Engine::controller_tick`] (the fault schedule keys scripted tick
     /// panics on it).
@@ -311,6 +329,7 @@ impl Engine {
                 })
                 .expect("failed to spawn controller thread")
         });
+        let sharing = config.sharing.clone().map(|cfg| Arc::new(ScanRegistry::new(cfg)));
         Engine {
             config,
             scheduler,
@@ -323,6 +342,7 @@ impl Engine {
             controller_stop,
             controller_thread,
             faults,
+            sharing,
             controller_ticks,
             controller_restarts,
         }
@@ -406,6 +426,36 @@ impl Engine {
         self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
+    /// Cumulative work-sharing counters ([`crate::sharing`]); all zeros when
+    /// sharing is disabled.
+    pub fn sharing_stats(&self) -> SharingStats {
+        self.sharing.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// True when the work-sharing subsystem is enabled.
+    pub fn sharing_enabled(&self) -> bool {
+        self.sharing.is_some()
+    }
+
+    /// Drops every shared-scan group over `table` and every cached
+    /// aggregate partial whose subtree read `table`. A no-op when sharing
+    /// is disabled. The service layer calls this from its per-table
+    /// invalidation so mutated tables can never serve stale windows.
+    pub fn invalidate_sharing_table(&self, table: &str) {
+        if let Some(sharing) = &self.sharing {
+            sharing.invalidate_table(table);
+        }
+    }
+
+    /// Flushes every shared-scan group and cached aggregate partial
+    /// (catalog swaps, global invalidation). A no-op when sharing is
+    /// disabled.
+    pub fn invalidate_sharing(&self) {
+        if let Some(sharing) = &self.sharing {
+            sharing.invalidate_all();
+        }
+    }
+
     /// Registers a query with the scheduler, returning its handle. The handle
     /// can be passed to [`Engine::execute_with_handle`] and retained by the
     /// caller for mid-flight control (cancellation, DOP re-grants).
@@ -463,9 +513,24 @@ impl Engine {
     pub fn reserve_admitted(&self, priority: u8, total_dop: usize) -> ReservedQuery {
         let total = if total_dop == 0 { self.config.n_workers } else { total_dop };
         let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        let weighted = self.controller.as_ref().is_some_and(|c| c.config().weighted_shares);
         let mut registry = self.registry.lock();
-        let n_governed = registry.values().filter(|h| is_governed(h)).count() + 1;
-        let target = equal_share(total, n_governed);
+        let target = if weighted {
+            // Priority-weighted admission (`ControllerConfig::weighted_shares`):
+            // the grant is proportional to `priority + 1` over the governed
+            // population plus this arrival, mirroring the controller's
+            // weighted re-grants tick-for-tick.
+            let weight_sum = registry
+                .values()
+                .filter(|h| is_governed(h))
+                .map(|h| share_weight(h.priority()))
+                .sum::<usize>()
+                + share_weight(priority);
+            weighted_share(total, share_weight(priority), weight_sum)
+        } else {
+            let n_governed = registry.values().filter(|h| is_governed(h)).count() + 1;
+            equal_share(total, n_governed)
+        };
         let handle = Arc::new(QueryHandle::with_phase(id, priority, target, DopPhase::Reserve));
         registry.insert(id, Arc::clone(&handle));
         drop(registry);
@@ -632,6 +697,7 @@ impl Engine {
             noise: self.noise.clone(),
             faults: self.faults.clone(),
             overhead_us: self.config.per_operator_overhead_us,
+            sharing: self.sharing.clone(),
         });
 
         // Seed the scheduler with every node that has no inputs. The check
@@ -694,16 +760,80 @@ impl Engine {
         let fused = PipelinePlan::analyze(plan)?;
         let capacity = plan.capacity();
         let n_steps = fused.steps.len();
+
+        // Partial-aggregate reuse ([`crate::sharing`]): before anything is
+        // launched, probe the registry for cached terminal chunks of
+        // aggregate-terminated steps. A hit satisfies the whole step — its
+        // terminal chunk is seeded into the result slot instead of being
+        // recomputed, and steps that would feed only satisfied work are
+        // skipped transitively.
+        let grid = handle.morsel_rows_hint().unwrap_or(self.config.morsel_rows.max(1)).max(1);
+        let mut satisfied = vec![false; n_steps];
+        let mut partial_keys: Vec<Option<PartialKey>> = vec![None; n_steps];
+        let mut seeded: Vec<(NodeId, Chunk)> = Vec::new();
+        if let Some(registry) = &self.sharing {
+            for (idx, step) in fused.steps.iter().enumerate() {
+                // A fused pipeline's terminal chunk is the exchange-union
+                // merge over its morsel grid, so the cache key carries the
+                // grid; single steps execute whole (grid 0).
+                let (terminal, step_grid) = match step {
+                    Step::Single(node) => (*node, 0),
+                    Step::Fused(p) => (p.terminal(), grid),
+                };
+                let spec = &plan.node(terminal)?.spec;
+                if !matches!(spec, OperatorSpec::ScalarAgg { .. } | OperatorSpec::GroupAgg { .. }) {
+                    continue;
+                }
+                let signature = plan.subtree_signature(terminal)?;
+                let tables = plan.subtree_tables(terminal)?;
+                if let Some(chunk) = registry.partial_get(catalog, step_grid, &signature) {
+                    satisfied[idx] = true;
+                    seeded.push((terminal, chunk));
+                }
+                partial_keys[idx] = Some(PartialKey { signature, tables });
+            }
+        }
+
+        // Transitively skip steps whose entire consumer set is skipped —
+        // their published output would feed only work that never runs. A
+        // fixpoint loop, not a single reverse sweep: step indices are not
+        // topologically ordered.
+        let mut skipped = satisfied;
+        loop {
+            let mut changed = false;
+            for idx in 0..n_steps {
+                if !skipped[idx]
+                    && !fused.out_edges[idx].is_empty()
+                    && fused.out_edges[idx].iter().all(|&(c, _)| skipped[c])
+                {
+                    skipped[idx] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Remove skipped producers' edges from the dependency counts so live
+        // consumers do not wait on steps that will never run.
+        let mut adjusted_deps = fused.deps.clone();
+        for (idx, _) in skipped.iter().enumerate().filter(|(_, &skip)| skip) {
+            for &(consumer, edges) in &fused.out_edges[idx] {
+                adjusted_deps[consumer] -= edges;
+            }
+        }
+        let live_steps = skipped.iter().filter(|&&s| !s).count();
+
         let state = Arc::new(MorselState {
             plan: Arc::clone(plan),
             catalog: Arc::clone(catalog),
             handle,
             results: (0..capacity).map(|_| OnceLock::new()).collect(),
             profiles: (0..capacity).map(|_| OnceLock::new()).collect(),
-            step_deps: fused.deps.iter().map(|&d| AtomicUsize::new(d)).collect(),
+            step_deps: adjusted_deps.iter().map(|&d| AtomicUsize::new(d)).collect(),
             fused_runs: (0..n_steps).map(|_| OnceLock::new()).collect(),
             pipeline_profiles: Mutex::new(Vec::new()),
-            remaining: AtomicUsize::new(n_steps),
+            remaining: AtomicUsize::new(live_steps),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
             done: Mutex::new(false),
@@ -714,14 +844,28 @@ impl Engine {
             overhead_us: self.config.per_operator_overhead_us,
             morsel_rows: self.config.morsel_rows.max(1),
             n_workers: self.config.n_workers,
+            sharing: self.sharing.clone(),
+            partial_keys,
+            skipped,
             fused,
         });
 
-        // Seed every step with no cross-step dependencies. Like the
-        // operator-at-a-time path, seeding consults the *static* dependency
-        // counts so concurrently running workers cannot double-launch a step.
-        for step in 0..n_steps {
-            if state.fused.deps[step] == 0 {
+        // Publish reused partials before any task can observe the slots.
+        for (terminal, chunk) in seeded {
+            let _ = state.results[terminal].set(chunk);
+        }
+
+        if live_steps == 0 {
+            // Every step was satisfied from the partial cache (the root's
+            // terminal chunk included): nothing to schedule.
+            state.finish();
+        }
+        // Seed every live step with no remaining cross-step dependencies.
+        // Like the operator-at-a-time path, seeding consults the *static*
+        // (pre-launch) dependency counts so concurrently running workers
+        // cannot double-launch a step.
+        for (step, &deps) in adjusted_deps.iter().enumerate() {
+            if !state.skipped[step] && deps == 0 {
                 let ok = launch_step(&state, step, &|task| self.scheduler.submit(task));
                 if !ok {
                     return Err(EngineError::EngineShutDown);
@@ -867,6 +1011,8 @@ struct RunState {
     noise: Option<Arc<NoiseInjector>>,
     faults: Option<Arc<FaultInjector>>,
     overhead_us: u64,
+    /// Shared-scan coordinator ([`crate::sharing`]); `None` when disabled.
+    sharing: Option<Arc<ScanRegistry>>,
 }
 
 impl RunState {
@@ -922,6 +1068,8 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
         node,
         state.faults.as_deref().map(|f| (f, state.handle.id())),
         inject_panic,
+        state.sharing.as_deref(),
+        &state.handle,
     ) {
         return state.fail(e);
     }
@@ -961,7 +1109,7 @@ fn run_node(state: Arc<RunState>, ctx: &TaskContext<'_>, node: NodeId) {
 #[allow(clippy::too_many_arguments)]
 fn execute_and_publish(
     plan: &Plan,
-    catalog: &Catalog,
+    catalog: &Arc<Catalog>,
     results: &[OnceLock<Chunk>],
     profiles: &[OnceLock<OperatorProfile>],
     started: Instant,
@@ -971,6 +1119,8 @@ fn execute_and_publish(
     node: NodeId,
     faults: Option<(&FaultInjector, u64)>,
     inject_panic: bool,
+    sharing: Option<&ScanRegistry>,
+    query: &QueryHandle,
 ) -> Result<()> {
     let node_ref = plan.node(node)?.clone();
 
@@ -989,7 +1139,31 @@ fn execute_and_publish(
 
     let queue_wait_us = ctx.queue_wait.as_micros() as u64;
     let start_us = started.elapsed().as_micros() as u64;
-    let outcome = guarded_execute(node, &node_ref.spec, &inputs, catalog, inject_panic);
+    let outcome = match &node_ref.spec {
+        OperatorSpec::ScanColumn { table, column, range } => {
+            // Whole-node scans go through the shared-scan coordinator when
+            // sharing is on: the first consumer of the window executes the
+            // scan and publishes it, later consumers reuse the published
+            // chunk. Fault-injected executions bypass the coordinator — an
+            // injected panic must fail this query, never poison (or be
+            // masked by) a window other queries reuse.
+            let served = match sharing {
+                Some(registry) if !inject_panic => {
+                    let scan = registry.attach(catalog, table, column);
+                    scan.window(range.start, range.end, || {
+                        guarded_execute(node, &node_ref.spec, &inputs, catalog, false)
+                    })
+                }
+                _ => guarded_execute(node, &node_ref.spec, &inputs, catalog, inject_panic)
+                    .map(|chunk| (chunk, false)),
+            };
+            served.map(|(chunk, shared)| {
+                query.record_morsel(shared);
+                chunk
+            })
+        }
+        _ => guarded_execute(node, &node_ref.spec, &inputs, catalog, inject_panic),
+    };
     if overhead_us > 0 {
         std::thread::sleep(std::time::Duration::from_micros(overhead_us));
     }
@@ -1095,7 +1269,24 @@ struct MorselState {
     /// with the query's live hint (see [`FusedRun::morsel_rows`]).
     morsel_rows: usize,
     n_workers: usize,
+    /// Shared-scan coordinator ([`crate::sharing`]); `None` when disabled.
+    sharing: Option<Arc<ScanRegistry>>,
+    /// Per-step partial-aggregate cache key; `Some` only for steps whose
+    /// terminal is a cacheable aggregate and sharing is enabled.
+    partial_keys: Vec<Option<PartialKey>>,
+    /// Steps satisfied by a cached partial (or feeding only such steps);
+    /// they are never launched, their terminal chunk is seeded instead.
+    skipped: Vec<bool>,
     fused: PipelinePlan,
+}
+
+/// Cache key of a step's partial-aggregate entry ([`crate::sharing`]): the
+/// terminal's structural signature plus the base tables its subtree reads
+/// (the per-table invalidation handle).
+#[derive(Clone)]
+struct PartialKey {
+    signature: String,
+    tables: Vec<String>,
 }
 
 impl MorselState {
@@ -1143,6 +1334,11 @@ struct FusedRun {
     queue_wait_us: AtomicU64,
     /// Offset since query start when the pipeline became runnable.
     start_us: u64,
+    /// Shared-scan membership for the pipeline's lifetime (scan-source
+    /// pipelines with sharing on); dropping it detaches from the group.
+    shared: Option<SharedScan>,
+    /// Morsels of this pipeline served from the group's published windows.
+    morsels_shared: AtomicU64,
 }
 
 impl FusedRun {
@@ -1171,7 +1367,7 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
             }))
         }
         Step::Fused(pipeline) => {
-            let (source_rows, scan_start, sliceable) = match pipeline.source {
+            let (source_rows, scan_start, sliceable, shared) = match pipeline.source {
                 PipelineSource::Scan { node } => {
                     let spec = match state.plan.node(node) {
                         Ok(n) => n.spec.clone(),
@@ -1195,7 +1391,15 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                     };
                     let end = range.end.min(len);
                     let start = range.start.min(end);
-                    (end - start, start, true)
+                    // Attach to the table's scan group for the pipeline's
+                    // lifetime; the `FusedRun` holds the membership and every
+                    // morsel produces-or-reuses through it.
+                    let shared = state
+                        .sharing
+                        .as_ref()
+                        .filter(|_| pipeline.shareable)
+                        .map(|reg| reg.attach(&state.catalog, &table, &column));
+                    (end - start, start, true, shared)
                 }
                 PipelineSource::Chunk { producer } => {
                     let chunk = state.results[producer]
@@ -1206,7 +1410,7 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                     // morsel covering the whole input.
                     let sliceable =
                         matches!(chunk, Chunk::Column(_) | Chunk::Oids(_) | Chunk::Join(_));
-                    (chunk.rows(), 0, sliceable)
+                    (chunk.rows(), 0, sliceable, None)
                 }
             };
             // Morsel size is resolved per pipeline launch: the adaptive
@@ -1229,6 +1433,8 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                 morsels_by_worker: (0..state.n_workers).map(|_| AtomicU64::new(0)).collect(),
                 queue_wait_us: AtomicU64::new(0),
                 start_us: state.started.elapsed().as_micros() as u64,
+                shared,
+                morsels_shared: AtomicU64::new(0),
             });
             if state.fused_runs[step].set(run).is_err() {
                 state.fail(EngineError::InvalidPlan(format!("step {step} launched twice")));
@@ -1278,8 +1484,23 @@ fn run_single_step(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, 
         node,
         state.faults.as_deref().map(|f| (f, state.handle.id())),
         inject_panic,
+        state.sharing.as_deref(),
+        &state.handle,
     ) {
         return state.fail(e);
+    }
+    // Keep a whole-node aggregate partial warm for the next query of the
+    // same shape (grid 0: single steps execute unsliced).
+    if let (Some(registry), Some(key)) = (&state.sharing, &state.partial_keys[step]) {
+        if let Some(chunk) = state.results.get(node).and_then(OnceLock::get) {
+            registry.partial_put(
+                &state.catalog,
+                0,
+                &key.signature,
+                key.tables.clone(),
+                chunk.clone(),
+            );
+        }
     }
     complete_step(&state, ctx, step);
 }
@@ -1338,7 +1559,26 @@ fn run_morsel(state: Arc<MorselState>, ctx: &TaskContext<'_>, step: usize, morse
                 _ => false,
             };
             let started = Instant::now();
-            match guarded_execute(node, &sub, &[], &state.catalog, inject_panic) {
+            // Produce-or-reuse through the scan group: the first member to
+            // need this window executes the slice and publishes it; everyone
+            // else (late attachers circling back for the prefix included)
+            // reuses the published chunk. Fault-injected morsels bypass the
+            // group — an injected panic must fail this query, never poison
+            // (or be masked by) a window other members reuse.
+            let produced = match &run.shared {
+                Some(scan) if !inject_panic => scan
+                    .window(lo, hi, || guarded_execute(node, &sub, &[], &state.catalog, false))
+                    .map(|(chunk, shared)| {
+                        if shared {
+                            run.morsels_shared.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state.handle.record_morsel(shared);
+                        chunk
+                    }),
+                _ => guarded_execute(node, &sub, &[], &state.catalog, inject_panic)
+                    .inspect(|_| state.handle.record_morsel(false)),
+            };
+            match produced {
                 Ok(chunk) => {
                     run.record_stage(member, started, &chunk);
                     member = 1;
@@ -1535,7 +1775,20 @@ fn assemble_pipeline(
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
+        morsels_shared: run.morsels_shared.load(Ordering::Relaxed),
     });
+
+    // Keep the assembled aggregate partial warm for the next query of the
+    // same shape ([`crate::sharing`] partial-aggregate reuse).
+    if let (Some(registry), Some(key)) = (&state.sharing, &state.partial_keys[step]) {
+        registry.partial_put(
+            &state.catalog,
+            run.morsel_rows,
+            &key.signature,
+            key.tables.clone(),
+            final_chunk.clone(),
+        );
+    }
 
     if state.results[terminal].set(final_chunk).is_err() {
         return state
@@ -1552,6 +1805,11 @@ fn complete_step(state: &Arc<MorselState>, ctx: &TaskContext<'_>, step: usize) {
     for &(consumer, edges) in &state.fused.out_edges[step] {
         let before = state.step_deps[consumer].fetch_sub(edges, Ordering::AcqRel);
         if before == edges {
+            // A consumer satisfied from the partial cache already has its
+            // terminal chunk seeded; it must never launch.
+            if state.skipped[consumer] {
+                continue;
+            }
             launch_step(state, consumer, &|task| {
                 ctx.submit(task);
                 true

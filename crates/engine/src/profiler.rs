@@ -122,6 +122,11 @@ pub struct PipelineProfile {
     /// Morsels executed per worker, indexed by worker id — the locality
     /// signal of the work-stealing comparison (fig19's morsel counters).
     pub morsels_by_worker: Vec<u64>,
+    /// Morsels of this pipeline served from a shared scan group's published
+    /// windows ([`crate::sharing`]) instead of re-executing the scan slice;
+    /// `n_morsels - morsels_shared` were executed privately. Always 0 when
+    /// sharing is disabled.
+    pub morsels_shared: u64,
 }
 
 /// Profile of one executed query.
@@ -229,6 +234,13 @@ impl QueryProfile {
     /// sizing the sequence shows the controller's trajectory.
     pub fn morsel_sizes(&self) -> Vec<usize> {
         self.pipelines.iter().map(|p| p.morsel_rows).collect()
+    }
+
+    /// Total morsels served from shared scan-group windows across all
+    /// pipelines ([`crate::sharing`]; 0 with sharing disabled or in
+    /// operator-at-a-time mode).
+    pub fn total_shared_morsels(&self) -> u64 {
+        self.pipelines.iter().map(|p| p.morsels_shared).sum()
     }
 
     /// True when the admitted DOP was raised after the admit-time grant —
@@ -457,6 +469,7 @@ mod tests {
                 source_rows: 2500,
                 queue_wait_us: 10,
                 morsels_by_worker: vec![2, 1, 0, 0],
+                morsels_shared: 2,
             },
             PipelineProfile {
                 step: 2,
@@ -466,11 +479,13 @@ mod tests {
                 source_rows: 1100,
                 queue_wait_us: 5,
                 morsels_by_worker: vec![0, 1, 1, 0],
+                morsels_shared: 0,
             },
         ];
         assert_eq!(p.total_morsels(), 5);
         assert_eq!(p.morsels_by_worker(), vec![2, 2, 1, 0]);
         assert_eq!(p.morsel_sizes(), vec![1024, 1024]);
+        assert_eq!(p.total_shared_morsels(), 2);
     }
 
     #[test]

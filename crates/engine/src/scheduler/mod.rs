@@ -98,6 +98,12 @@ pub struct QuerySignals {
     pub busy_us: u64,
     /// Number of tasks dispatched so far.
     pub dispatched: u64,
+    /// Scan morsels served from a shared scan group's published windows
+    /// instead of re-executing the scan ([`crate::sharing`]).
+    pub morsels_shared: u64,
+    /// Scan morsels this query executed privately (first to need the window,
+    /// or sharing disabled).
+    pub morsels_private: u64,
 }
 
 /// Per-query scheduling state, shared between the submitting client, the
@@ -121,14 +127,19 @@ pub struct QueryHandle {
     dop_events: Mutex<Vec<DopEvent>>,
     /// Per-query morsel-size override (rows); `0` = engine default.
     morsel_rows: AtomicUsize,
-    /// Deadline as a microsecond offset from `created`; `0` = no deadline.
-    deadline_us: AtomicU64,
+    /// Deadline as a nanosecond offset from `created`; `0` = no deadline.
+    /// Nanosecond granularity so an instantly expired deadline
+    /// (`set_deadline(Duration::ZERO)`) is observed as exceeded on the very
+    /// next check, even when both happen within the same microsecond.
+    deadline_ns: AtomicU64,
     /// Whether the [`DopPhase::Timeout`] timeline event was recorded (at
     /// most one, by whichever checkpoint observes the expiry first).
     timeout_recorded: AtomicBool,
     queue_wait_us: AtomicU64,
     busy_us: AtomicU64,
     dispatched: AtomicU64,
+    morsels_shared: AtomicU64,
+    morsels_private: AtomicU64,
 }
 
 impl QueryHandle {
@@ -151,11 +162,13 @@ impl QueryHandle {
             created: Instant::now(),
             dop_events: Mutex::new(vec![DopEvent { at_us: 0, dop: admitted_dop, phase }]),
             morsel_rows: AtomicUsize::new(0),
-            deadline_us: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(0),
             timeout_recorded: AtomicBool::new(false),
             queue_wait_us: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
+            morsels_shared: AtomicU64::new(0),
+            morsels_private: AtomicU64::new(0),
         }
     }
 
@@ -268,7 +281,31 @@ impl QueryHandle {
             queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
             busy_us: self.busy_us.load(Ordering::Relaxed),
             dispatched: self.dispatched.load(Ordering::Relaxed),
+            morsels_shared: self.morsels_shared.load(Ordering::Relaxed),
+            morsels_private: self.morsels_private.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts one scan morsel of this query: `shared == true` when it was
+    /// served from a scan group's published window, `false` when this query
+    /// executed the scan slice itself ([`crate::sharing`]).
+    pub(crate) fn record_morsel(&self, shared: bool) {
+        if shared {
+            self.morsels_shared.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.morsels_private.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative scan morsels served to this query from shared scan-group
+    /// windows (one scan pass amortized across consumers).
+    pub fn morsels_shared(&self) -> u64 {
+        self.morsels_shared.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative scan morsels this query executed privately.
+    pub fn morsels_private(&self) -> u64 {
+        self.morsels_private.load(Ordering::Relaxed)
     }
 
     /// Requests cancellation: tasks already running finish, queued tasks of
@@ -290,25 +327,25 @@ impl QueryHandle {
     /// exactly like cancellation.
     pub fn set_deadline(&self, timeout: Duration) {
         let offset =
-            self.created.elapsed().saturating_add(timeout).as_micros().min(u64::MAX as u128) as u64;
+            self.created.elapsed().saturating_add(timeout).as_nanos().min(u64::MAX as u128) as u64;
         // `0` encodes "no deadline", so an instantly expired deadline still
         // stores a nonzero offset.
-        self.deadline_us.store(offset.max(1), Ordering::Release);
+        self.deadline_ns.store(offset.max(1), Ordering::Release);
     }
 
     /// The query's deadline, if armed ([`QueryHandle::set_deadline`]).
     pub fn deadline(&self) -> Option<Instant> {
-        match self.deadline_us.load(Ordering::Acquire) {
+        match self.deadline_ns.load(Ordering::Acquire) {
             0 => None,
-            us => Some(self.created + Duration::from_micros(us)),
+            ns => Some(self.created + Duration::from_nanos(ns)),
         }
     }
 
     /// True once an armed deadline has passed.
     pub fn deadline_exceeded(&self) -> bool {
-        match self.deadline_us.load(Ordering::Acquire) {
+        match self.deadline_ns.load(Ordering::Acquire) {
             0 => false,
-            us => self.created.elapsed().as_micros() as u64 >= us,
+            ns => self.created.elapsed().as_nanos() as u64 >= ns,
         }
     }
 

@@ -60,6 +60,7 @@ use apq_columnar::Catalog;
 
 use crate::executor::{Engine, EngineConfig};
 use crate::profiler::QueryProfile;
+use crate::sharing::SharingConfig;
 use crate::QueryOutput;
 
 use cache::{PlanCache, ResultCache};
@@ -98,6 +99,18 @@ pub struct ServiceConfig {
     /// [`crate::EngineError::Overloaded`] instead of blocking. `0` (the
     /// default) means unbounded queues and no shedding.
     pub max_queued: usize,
+    /// Enables the engine's work-sharing subsystem ([`crate::sharing`]):
+    /// concurrent submissions scanning the same table cooperate through
+    /// per-table scan groups (each morsel window produced once, fanned to
+    /// every consumer) and repeated aggregate shapes resume from cached
+    /// partials. Off by default — results are byte-identical either way,
+    /// sharing only changes who executes the scan work.
+    pub enable_shared_scans: bool,
+    /// Cost-aware result-cache admission: an execution's output is inserted
+    /// into the result cache only when its wall-clock time reached this
+    /// floor. `Duration::ZERO` (the default) admits everything; a nonzero
+    /// floor keeps cheap queries from evicting expensive cached results.
+    pub min_cache_cost: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +123,8 @@ impl Default for ServiceConfig {
             result_cache_capacity: 128,
             default_timeout: None,
             max_queued: 0,
+            enable_shared_scans: false,
+            min_cache_cost: Duration::ZERO,
         }
     }
 }
@@ -153,6 +168,19 @@ impl ServiceConfig {
     /// Sets the service-wide queued-submission bound (`0` = unbounded).
     pub fn with_max_queued(mut self, max_queued: usize) -> Self {
         self.max_queued = max_queued;
+        self
+    }
+
+    /// Enables or disables shared scans + partial-aggregate reuse.
+    pub fn with_shared_scans(mut self, enabled: bool) -> Self {
+        self.enable_shared_scans = enabled;
+        self
+    }
+
+    /// Sets the execution-cost floor for result-cache admission
+    /// (`Duration::ZERO` admits everything).
+    pub fn with_min_cache_cost(mut self, cost: Duration) -> Self {
+        self.min_cache_cost = cost;
         self
     }
 }
@@ -200,6 +228,18 @@ pub struct ServiceStats {
     /// Faults the engine's chaos layer injected so far
     /// ([`crate::FaultStats::total`]); `0` when fault injection is off.
     pub faults_injected: u64,
+    /// Shared-scan groups created so far ([`crate::sharing`]); `0` when
+    /// shared scans are off.
+    pub scan_groups: u64,
+    /// Scan morsels served from shared scan-group windows instead of
+    /// re-executing the scan; `0` when shared scans are off.
+    pub morsels_shared: u64,
+    /// Scan morsels the engine executed privately (the first consumer of
+    /// each window, plus everything scanned while sharing is off).
+    pub morsels_private: u64,
+    /// Executions that resumed from a cached aggregate partial instead of
+    /// rescanning; `0` when shared scans are off.
+    pub partials_reused: u64,
 }
 
 /// Cumulative counters behind [`ServiceStats`].
@@ -357,7 +397,11 @@ impl QueryService {
     /// Creates a service around a fresh engine built from `config.engine`,
     /// serving `catalog`.
     pub fn new(config: ServiceConfig, catalog: Arc<Catalog>) -> Self {
-        let engine = Engine::new(config.engine.clone());
+        let mut engine_config = config.engine.clone();
+        if config.enable_shared_scans && engine_config.sharing.is_none() {
+            engine_config.sharing = Some(SharingConfig::default());
+        }
+        let engine = Engine::new(engine_config);
         QueryService {
             inner: Arc::new(ServiceInner {
                 engine,
@@ -423,6 +467,7 @@ impl QueryService {
     /// mutating that table's data); returns how many entries were dropped.
     pub fn invalidate_table(&self, table: &str) -> usize {
         let dropped = self.inner.result_cache.invalidate_table(table);
+        self.inner.engine.invalidate_sharing_table(table);
         self.inner.stats.results_invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
@@ -430,6 +475,7 @@ impl QueryService {
     /// Drops every cached result; returns how many entries were dropped.
     pub fn invalidate_results(&self) -> usize {
         let dropped = self.inner.result_cache.invalidate_all();
+        self.inner.engine.invalidate_sharing();
         self.inner.stats.results_invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
@@ -453,6 +499,7 @@ impl QueryService {
     /// Snapshot of the service's cumulative counters.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.inner.stats;
+        let sharing = self.inner.engine.sharing_stats();
         ServiceStats {
             sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: s.sessions_closed.load(Ordering::Relaxed),
@@ -465,6 +512,10 @@ impl QueryService {
             timed_out: s.timed_out.load(Ordering::Relaxed),
             shed: s.shed.load(Ordering::Relaxed),
             faults_injected: self.inner.engine.fault_stats().total(),
+            scan_groups: sharing.scan_groups,
+            morsels_shared: sharing.morsels_shared,
+            morsels_private: sharing.morsels_private,
+            partials_reused: sharing.partials_reused,
         }
     }
 }

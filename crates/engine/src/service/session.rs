@@ -484,8 +484,12 @@ impl Session {
         // Never publish a result whose query ended cancelled or past its
         // deadline — a racing close/expiry after the last checkpoint could
         // otherwise pin a half-trusted output in the cache and serve it to
-        // the next identical submission.
-        if !handle.is_cancelled() && !handle.deadline_exceeded() {
+        // the next identical submission. Cost-aware admission: executions
+        // cheaper than `min_cache_cost` are not worth a cache slot.
+        if !handle.is_cancelled()
+            && !handle.deadline_exceeded()
+            && started.elapsed() >= service.config.min_cache_cost
+        {
             service.result_cache.insert(
                 signature,
                 execution.output.clone(),

@@ -35,6 +35,9 @@ case "$kind" in
       'p99_response_ms'
       '"chaos"'
       'faults_injected'
+      '"shared_scan"'
+      'morsels_shared'
+      'partials_reused'
     )
     ;;
   *)

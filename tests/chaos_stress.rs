@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use adaptive_parallelization::engine::{
     ControllerConfig, DopPhase, Engine, EngineConfig, EngineError, ExecutionMode, FaultConfig,
-    OperatorSpec, Plan, QueryOptions, QueryOutput, SchedulerPolicy,
+    OperatorSpec, Plan, QueryOptions, QueryOutput, SchedulerPolicy, SharingConfig,
 };
 use apq_columnar::partition::RowRange;
 use apq_columnar::{Catalog, TableBuilder};
@@ -99,11 +99,24 @@ fn engine(
     controller: bool,
     faults: FaultConfig,
 ) -> Engine {
+    engine_with_sharing(policy, mode, controller, faults, false)
+}
+
+fn engine_with_sharing(
+    policy: SchedulerPolicy,
+    mode: ExecutionMode,
+    controller: bool,
+    faults: FaultConfig,
+    sharing: bool,
+) -> Engine {
     let mut config = EngineConfig::with_workers(WORKERS)
         .with_scheduler(policy)
         .with_execution_mode(mode)
         .with_morsel_rows(MORSEL_ROWS)
         .with_faults(faults);
+    if sharing {
+        config = config.with_sharing(SharingConfig::default());
+    }
     if controller {
         config = config.with_controller(
             ControllerConfig::default()
@@ -139,8 +152,18 @@ fn run_cell(
     controller: bool,
     faults: FaultConfig,
 ) -> Vec<Result<QueryOutput, EngineError>> {
+    run_cell_with_sharing(policy, mode, controller, faults, false)
+}
+
+fn run_cell_with_sharing(
+    policy: SchedulerPolicy,
+    mode: ExecutionMode,
+    controller: bool,
+    faults: FaultConfig,
+    sharing: bool,
+) -> Vec<Result<QueryOutput, EngineError>> {
     let catalog = catalog();
-    let engine = engine(policy, mode, controller, faults);
+    let engine = engine_with_sharing(policy, mode, controller, faults, sharing);
     let mut outcomes = Vec::new();
     let mut handles = Vec::new();
     for round in 0..2 {
@@ -251,6 +274,82 @@ fn fault_free_seeds_are_byte_identical_to_the_reference() {
                     let stats = engine.fault_stats();
                     assert_eq!(stats.panics, 0, "timing-only/quiet seeds never panic");
                     assert_eq!(stats.cancels, 0, "timing-only/quiet seeds never cancel");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_matrix_with_sharing_reproduces_from_the_seed() {
+    // Work sharing on top of the chaos matrix: the robustness contract is
+    // unchanged (no hang, no leaked slots, drained census — all checked
+    // inside the cell), and the same seed still yields the same pass/fail
+    // pattern with byte-identical successes. Faulty members must detach
+    // from their scan groups without corrupting what later submissions —
+    // which reuse the surviving windows and partials — return.
+    for seed in SEEDS {
+        for policy in SchedulerPolicy::ALL {
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                let label = format!("seed {seed} [{policy}/{mode:?}/sharing]");
+                let (first, second) = with_watchdog(&label, move || {
+                    (
+                        run_cell_with_sharing(policy, mode, false, FaultConfig::chaos(seed), true),
+                        run_cell_with_sharing(policy, mode, false, FaultConfig::chaos(seed), true),
+                    )
+                });
+                assert_eq!(first.len(), second.len());
+                for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x, y, "{label}: submission {i} output diverged")
+                        }
+                        (Err(x), Err(y)) => {
+                            assert!(allowed_chaos_error(x), "{label}: unexpected error {x}");
+                            assert!(allowed_chaos_error(y), "{label}: unexpected error {y}");
+                        }
+                        _ => panic!(
+                            "{label}: submission {i} flipped between identical seeded runs \
+                             ({a:?} vs {b:?})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_sharing_successes_match_the_unshared_reference() {
+    // Whatever a chaos seed does to its victims, every submission that
+    // *succeeds* on a sharing engine must still be byte-identical to the
+    // fault-free unshared reference — shared windows seeded by a query
+    // that later failed are complete, correct units and must never leak
+    // partial state into other members' results.
+    let catalog = catalog();
+    let reference = Engine::with_workers(WORKERS);
+    let expected: Vec<QueryOutput> = workload()
+        .iter()
+        .map(|p| reference.execute(p, &catalog).expect("reference executes").output)
+        .collect();
+    for seed in SEEDS {
+        for policy in SchedulerPolicy::ALL {
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                let label = format!("seed {seed} [{policy}/{mode:?}/sharing]");
+                let outcomes = with_watchdog(&label, move || {
+                    run_cell_with_sharing(policy, mode, false, FaultConfig::chaos(seed), true)
+                });
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    match outcome {
+                        Ok(output) => assert_eq!(
+                            output,
+                            &expected[i % expected.len()],
+                            "{label}: surviving submission {i} was corrupted"
+                        ),
+                        Err(err) => {
+                            assert!(allowed_chaos_error(err), "{label}: unexpected error {err}")
+                        }
+                    }
                 }
             }
         }

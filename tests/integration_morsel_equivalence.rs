@@ -16,7 +16,7 @@ use std::time::Duration;
 use adaptive_parallelization::baselines::heuristic_parallelize;
 use adaptive_parallelization::engine::{
     ControllerConfig, Engine, EngineConfig, ExecutionMode, OperatorSpec, Plan, QueryOutput,
-    QueryService, SchedulerPolicy, ServiceConfig,
+    QueryService, SchedulerPolicy, ServiceConfig, SharingConfig,
 };
 use adaptive_parallelization::workloads::tpcds::{self, TpcdsQuery, TpcdsScale};
 use adaptive_parallelization::workloads::tpch::{self, TpchQuery, TpchScale};
@@ -317,6 +317,45 @@ fn service_plan_cache_hits_match_cold_execution_across_modes_and_policies() {
                     warm.output, expected,
                     "{query} [{policy}/{mode:?}]: plan-cache hit changed the result"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_scans_stay_byte_identical_across_policies_and_modes() {
+    // Work sharing (shared scan-group windows + partial-aggregate reuse)
+    // is a who-does-the-work knob, never a what-comes-out knob: with
+    // sharing enabled, every workload query must stay byte-identical to
+    // the unshared reference under 2 policies × 2 execution modes — on a
+    // cold engine AND on a warm one whose groups/partials are populated
+    // from earlier submissions. Profile-shape assertions are deliberately
+    // absent: a warm repeat may resume from a cached partial and legally
+    // skip entire pipelines.
+    let catalog = tpch::generate(TpchScale::new(0.002), 1234);
+    let reference = Engine::with_workers(WORKERS);
+    for query in TpchQuery::all() {
+        let serial = query.build(&catalog).expect("serial plan builds");
+        let hp = heuristic_parallelize(&serial, &catalog, WORKERS).expect("HP rewrite");
+        for (label, plan) in [("serial", &serial), ("HP", &hp)] {
+            let expected = reference.execute(plan, &catalog).expect("reference executes").output;
+            for policy in SchedulerPolicy::ALL {
+                for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                    let engine = Engine::new(
+                        EngineConfig::with_workers(WORKERS)
+                            .with_scheduler(policy)
+                            .with_execution_mode(mode)
+                            .with_morsel_rows(MORSEL_ROWS)
+                            .with_sharing(SharingConfig::default()),
+                    );
+                    for rep in 0..2 {
+                        let exec = engine.execute(plan, &catalog).expect("sharing run executes");
+                        assert_eq!(
+                            exec.output, expected,
+                            "{query} {label} [{policy}/{mode:?}] rep {rep}: sharing diverged"
+                        );
+                    }
+                }
             }
         }
     }
