@@ -1339,6 +1339,9 @@ struct FusedRun {
     shared: Option<SharedScan>,
     /// Morsels of this pipeline served from the group's published windows.
     morsels_shared: AtomicU64,
+    /// Process-wide typed-cache hit count sampled at launch; assembly
+    /// reports the delta as [`PipelineProfile::typed_cache_hits`].
+    typed_hits_at_launch: u64,
 }
 
 impl FusedRun {
@@ -1435,6 +1438,7 @@ fn launch_step(state: &Arc<MorselState>, step: usize, submit: &dyn Fn(Task) -> b
                 start_us: state.started.elapsed().as_micros() as u64,
                 shared,
                 morsels_shared: AtomicU64::new(0),
+                typed_hits_at_launch: apq_columnar::typed_cache_hits(),
             });
             if state.fused_runs[step].set(run).is_err() {
                 state.fail(EngineError::InvalidPlan(format!("step {step} launched twice")));
@@ -1776,6 +1780,11 @@ fn assemble_pipeline(
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
         morsels_shared: run.morsels_shared.load(Ordering::Relaxed),
+        groupagg_fused: matches!(
+            state.plan.node(terminal).map(|n| &n.spec),
+            Ok(OperatorSpec::GroupAgg { .. })
+        ),
+        typed_cache_hits: apq_columnar::typed_cache_hits().saturating_sub(run.typed_hits_at_launch),
     });
 
     // Keep the assembled aggregate partial warm for the next query of the

@@ -32,15 +32,18 @@
 //! that process their first (range-aligned) input row-wise while every other
 //! input is either shared whole — hash tables, full columns being fetched
 //! into — or, for the **two-range-aligned-input** stages (`Calc` col⊗col,
-//! `IfThenElse`), sliced on the *same morsel grid* as the stream (see
-//! [`crate::plan::OperatorSpec::aligned_inputs`]). Select, fetch, hash
-//! probe / semi / anti join, calc (scalar *and* column⊗column), if-then-else,
-//! predicate masks, join-side projections and partial scalar aggregates all
-//! qualify; pipeline breakers (hash build, grouped aggregation, exchange
-//! union, finalize) run operator-at-a-time between pipelines. Every
-//! intermediate stage must have exactly one consumer (the next stage); only
-//! the terminal stage's output is materialized and published to the rest of
-//! the plan.
+//! `IfThenElse`, `GroupAgg` keys⊗values), sliced on the *same morsel grid*
+//! as the stream (see [`crate::plan::OperatorSpec::aligned_inputs`]). Select,
+//! fetch, hash probe / semi / anti join, calc (scalar *and* column⊗column),
+//! if-then-else, predicate masks, join-side projections and partial
+//! aggregates (scalar *and* grouped) all qualify; pipeline breakers (hash
+//! build, exchange union, finalize/merge) run operator-at-a-time between
+//! pipelines. Aggregates only ever *terminate* a chain: each morsel yields a
+//! partial (`AggState` / `GroupedAgg`) that the driver merges in morsel
+//! order, so nothing streams past them (`GroupAgg` is enforced explicitly —
+//! see `is_terminal_stage`). Every intermediate stage must have exactly one
+//! consumer (the next stage); only the terminal stage's output is
+//! materialized and published to the rest of the plan.
 //!
 //! Two ordering constraints apply inside a chain, both triggered by a stage
 //! that has *created a new stream* (a selection or join compacts its input,
@@ -216,6 +219,11 @@ fn is_fusible_stage(spec: &OperatorSpec, n_inputs: usize) -> bool {
     match spec {
         OperatorSpec::Select { .. } => n_inputs == 1,
         OperatorSpec::Calc { .. } => n_inputs <= 2,
+        // Grouped aggregation streams its range-aligned keys/values pair
+        // like a `Calc` col⊗col zip, but only ever as a pipeline *terminal*
+        // (see `is_terminal_stage`): its `Chunk::Grouped` output is a
+        // pipeline breaker.
+        OperatorSpec::GroupAgg { .. } => n_inputs == 2,
         OperatorSpec::PredMask { .. }
         | OperatorSpec::Fetch
         | OperatorSpec::HashProbe
@@ -227,6 +235,18 @@ fn is_fusible_stage(spec: &OperatorSpec, n_inputs: usize) -> bool {
         | OperatorSpec::ScalarAgg { .. } => true,
         _ => false,
     }
+}
+
+/// True when the stage *terminates* any pipeline it joins: its output is a
+/// pipeline-breaker chunk kind that no later stage could stream, so the
+/// chain must stop extending once it is pushed. `GroupAgg` qualifies — each
+/// morsel produces a partial [`apq_operators::GroupedAgg`]
+/// (`Chunk::Grouped`) and the driver merges the partials in morsel order
+/// (the `MergeGrouped` combiner's guarantee), keeping float results
+/// byte-exact. `ScalarAgg` is a de-facto terminal for the same reason but
+/// needs no explicit rule: nothing fusible consumes its `AggPartial`.
+fn is_terminal_stage(spec: &OperatorSpec) -> bool {
+    matches!(spec, OperatorSpec::GroupAgg { .. })
 }
 
 /// True when the operator *compacts* its input into a brand-new stream
@@ -339,10 +359,17 @@ impl PipelinePlan {
                     // may emit positions; the constraint starts after the
                     // first in-pipeline stream creator.
                     let mut stream_created = creates_stream(&plan.node(first_stage)?.spec);
-                    while let Some(next) = chain_next(last, stream_created) {
-                        stream_created |= creates_stream(&plan.node(next)?.spec);
-                        stages.push(next);
-                        last = next;
+                    if !is_terminal_stage(&plan.node(first_stage)?.spec) {
+                        while let Some(next) = chain_next(last, stream_created) {
+                            let spec = &plan.node(next)?.spec;
+                            stream_created |= creates_stream(spec);
+                            let terminal = is_terminal_stage(spec);
+                            stages.push(next);
+                            last = next;
+                            if terminal {
+                                break;
+                            }
+                        }
                     }
                     // Scan-source pipelines are marked shareable here, at
                     // analysis time: the executor only attaches a pipeline
@@ -695,6 +722,98 @@ mod tests {
                 && pl.stages == vec![calc]),
             "two-input calc should restart over the assembled chunk: {calc_step:?}"
         );
+    }
+
+    #[test]
+    fn group_agg_fuses_as_pipeline_terminal() {
+        // scan k → groupagg(k, v) → mergegrouped, v scanned separately: the
+        // grouped aggregate fuses into the key scan's pipeline as its
+        // terminal stage, with v grid-sliced per morsel by the executor.
+        let mut p = Plan::new();
+        let k = p.add(scan("k", 1000), vec![]);
+        let v = p.add(scan("v", 1000), vec![]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![k, v]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let chain = &fused.steps[fused.step_of[group].unwrap()];
+        assert!(
+            matches!(chain, Step::Fused(pl) if pl.source == PipelineSource::Scan { node: k }
+                && pl.stages == vec![group]),
+            "groupagg should fuse with its key scan: {chain:?}"
+        );
+        assert!(matches!(fused.steps[fused.step_of[v].unwrap()], Step::Single(_)));
+        assert!(matches!(fused.steps[fused.step_of[merge].unwrap()], Step::Single(_)));
+    }
+
+    #[test]
+    fn group_agg_terminates_a_longer_chain() {
+        // scan k → calc(k + 1) → groupagg(·, v): the aggregate joins at the
+        // end of the calc chain and nothing may extend past it.
+        let mut p = Plan::new();
+        let k = p.add(scan("k", 1000), vec![]);
+        let shifted = p.add(
+            OperatorSpec::Calc {
+                op: BinaryOp::Add,
+                left_scalar: None,
+                right_scalar: Some(ScalarValue::I64(1)),
+            },
+            vec![k],
+        );
+        let v = p.add(scan("v", 1000), vec![]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Min }, vec![shifted, v]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let chain = &fused.steps[fused.step_of[group].unwrap()];
+        assert!(
+            matches!(chain, Step::Fused(pl) if pl.source == PipelineSource::Scan { node: k }
+                && pl.stages == vec![shifted, group]),
+            "groupagg should terminate the calc chain: {chain:?}"
+        );
+    }
+
+    #[test]
+    fn group_agg_does_not_fuse_after_a_stream_creator() {
+        // scan a → select → fetch(k) → groupagg(·, v): the select compacts
+        // the stream, so the grid-aligned cut of v would zip against the
+        // wrong rows — the aggregate must restart over the assembled chunk.
+        let mut p = Plan::new();
+        let a = p.add(scan("a", 1000), vec![]);
+        let sel =
+            p.add(OperatorSpec::Select { predicate: Predicate::cmp(CmpOp::Lt, 10i64) }, vec![a]);
+        let k = p.add(scan("k", 1000), vec![]);
+        let fetch = p.add(OperatorSpec::Fetch, vec![sel, k]);
+        let v = p.add(scan("v", 1000), vec![]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![fetch, v]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        let first = &fused.steps[fused.step_of[a].unwrap()];
+        assert!(
+            matches!(first, Step::Fused(pl) if pl.stages == vec![sel, fetch]),
+            "chain should stop before the groupagg: {first:?}"
+        );
+        let group_step = &fused.steps[fused.step_of[group].unwrap()];
+        assert!(
+            matches!(group_step, Step::Fused(pl)
+                if pl.source == PipelineSource::Chunk { producer: fetch }
+                && pl.stages == vec![group]),
+            "groupagg should restart over the assembled chunk: {group_step:?}"
+        );
+    }
+
+    #[test]
+    fn self_grouping_group_agg_stays_single() {
+        // groupagg(x, x): inputs[0] occurs twice — neither chain nor head
+        // rule admits it; it runs whole, exactly like OAT.
+        let mut p = Plan::new();
+        let x = p.add(scan("x", 100), vec![]);
+        let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Count }, vec![x, x]);
+        let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+        p.set_root(merge);
+        let fused = PipelinePlan::analyze(&p).unwrap();
+        assert!(matches!(fused.steps[fused.step_of[group].unwrap()], Step::Single(_)));
     }
 
     #[test]

@@ -42,7 +42,13 @@
 //! identity, and the morsel grid that produced them. A later query whose
 //! fused decomposition contains a step with the same key resumes from the
 //! cached partial instead of rescanning — the executor seeds the step's
-//! terminal result and prunes every upstream step that fed only it.
+//! terminal result and prunes every upstream step that fed only it. The
+//! cache is chunk-typed: a fused `GroupAgg` terminal stores its
+//! `Chunk::Grouped` partial (per-morsel group states merged in morsel
+//! order, so first-occurrence key order and float merge order match
+//! whole-column execution), and a repeated group-by resumes from it
+//! exactly as a scalar aggregate does. The grid component of the key makes
+//! any morsel-size drift (e.g. controller re-sizing) a safe miss.
 //!
 //! # Invalidation
 //!

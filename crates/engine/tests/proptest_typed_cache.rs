@@ -1,0 +1,170 @@
+//! Property tests for the lazily-typed caches on shared column blocks:
+//! random `build` / `slice` / `concat` / typed-access interleavings —
+//! including concurrent typed access from several threads over windows of
+//! one backing — must match a materializing reference exactly (values and
+//! `base_oid` labels), and each backing must validate at most **once per
+//! type** no matter how many clones, windows, or threads touched it.
+//!
+//! The reference keeps a plain `Vec` plus an explicit base label and
+//! re-slices on every cut (what a cache-less column would return); the
+//! engine path goes through `Column::slice` / `Column::concat` and the
+//! warm-first typed accessors, exercising the `OnceLock` publication race
+//! and the per-backing validation counter.
+
+use apq_columnar::{Column, Oid};
+use proptest::prelude::*;
+
+/// Materializing reference: owned values + the base-oid label the view
+/// should carry.
+#[derive(Debug, Clone, PartialEq)]
+struct RefCol {
+    values: Vec<i64>,
+    base: Oid,
+}
+
+impl RefCol {
+    fn slice(&self, start: usize, len: usize) -> RefCol {
+        RefCol { values: self.values[start..start + len].to_vec(), base: self.base + start as Oid }
+    }
+
+    fn concat(parts: &[RefCol]) -> RefCol {
+        // `Column::concat` packs into fresh backing labelled from zero.
+        RefCol { values: parts.iter().flat_map(|p| p.values.iter().copied()).collect(), base: 0 }
+    }
+}
+
+fn assert_matches(col: &Column, reference: &RefCol) {
+    assert_eq!(col.i64_values().unwrap(), &reference.values[..], "typed window values diverged");
+    assert_eq!(col.base_oid(), reference.base, "base_oid label diverged");
+    assert_eq!(col.len(), reference.values.len());
+}
+
+/// Reads `col` through several threads at once, each over a different
+/// window of the same backing, racing the first validation when the
+/// backing is cold. Values must match the reference everywhere and the
+/// backing must end up validated exactly once (a single type was read).
+fn concurrent_fanout(col: &Column, reference: &RefCol, threads: usize) {
+    let rows = col.len();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let col = col.clone();
+            let reference = reference.clone();
+            s.spawn(move || {
+                // Deterministic per-thread window; always in range.
+                let start = if rows == 0 { 0 } else { (t * 31) % rows };
+                let len = (rows - start) / (t + 1);
+                let window = col.slice(start, len).expect("in-range window");
+                assert_matches(&window, &reference.slice(start, len));
+                // The base view itself, after the window warmed the cache.
+                assert_matches(&col, &reference);
+            });
+        }
+    });
+    assert_eq!(
+        col.backing_validations(),
+        1,
+        "one typed access pattern must validate the backing exactly once"
+    );
+}
+
+/// Drives one random op sequence, starting from a freshly built column.
+fn drive(len: usize, ops: &[(usize, usize, usize, usize)]) {
+    let mut col = Column::from_i64((0..len as i64).map(|v| v.wrapping_mul(7) - 3).collect());
+    let mut reference =
+        RefCol { values: (0..len as i64).map(|v| v.wrapping_mul(7) - 3).collect(), base: 0 };
+    assert_eq!(col.backing_validations(), 0, "a fresh backing must start cold");
+
+    for &(kind, a, b, threads) in ops {
+        let rows = col.len();
+        match kind {
+            // Nested zero-copy cut; the window inherits the warm cache of
+            // its backing (shares_storage_with stays true).
+            0 => {
+                let start = if rows == 0 { 0 } else { a % (rows + 1) };
+                let cut = b % (rows - start + 1);
+                let sliced = col.slice(start, cut).expect("in-range slice");
+                assert!(sliced.shares_storage_with(&col), "slice must not copy");
+                reference = reference.slice(start, cut);
+                col = sliced;
+            }
+            // Morsel-grid split + concat: non-divisible morsel sizes, packed
+            // in order into fresh (cold) backing relabelled from zero.
+            1 => {
+                let morsel = (a % (rows + 2)).max(1);
+                let n = rows.div_ceil(morsel).max(1);
+                let parts: Vec<Column> = (0..n)
+                    .map(|i| {
+                        let start = i * morsel;
+                        col.slice(start, morsel.min(rows - start)).expect("grid part")
+                    })
+                    .collect();
+                let ref_parts: Vec<RefCol> = (0..n)
+                    .map(|i| {
+                        let start = i * morsel;
+                        reference.slice(start, morsel.min(rows - start))
+                    })
+                    .collect();
+                col = Column::concat(&parts).expect("concat");
+                reference = RefCol::concat(&ref_parts);
+                assert_eq!(col.backing_validations(), 0, "packed backing must start cold");
+            }
+            // Concurrent typed access across threads (cold → races the
+            // publication; warm → every thread takes the pointer-load path).
+            _ => concurrent_fanout(&col, &reference, threads.max(1)),
+        }
+        assert_matches(&col, &reference);
+        // However the ops interleaved, only i64 was ever read: the current
+        // backing can never have validated more than that one type.
+        assert!(
+            col.backing_validations() <= 1,
+            "backing validated {} times for one accessed type",
+            col.backing_validations()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn typed_access_matches_materializing_reference(
+        len in 0usize..257,
+        ops in prop::collection::vec((0usize..3, 0usize..300, 0usize..300, 1usize..5), 1..7),
+    ) {
+        drive(len, &ops);
+    }
+}
+
+#[test]
+fn mixed_type_backings_validate_once_per_type() {
+    // A second type on the same *value* (an f64 column) lives in its own
+    // backing: per-backing counts stay per-type, and a mismatched accessor
+    // never publishes (the cache stays cold through type errors).
+    let ints = Column::from_i64(vec![1, 2, 3]);
+    assert!(ints.f64_values().is_err(), "mismatched accessor must fail");
+    assert_eq!(ints.backing_validations(), 0, "a failed access must not validate");
+    ints.i64_values().unwrap();
+    ints.i64_values().unwrap();
+    ints.slice(1, 2).unwrap().i64_values().unwrap();
+    assert_eq!(ints.backing_validations(), 1);
+
+    let floats = Column::from_f64(vec![0.5, -1.25]);
+    floats.f64_values().unwrap();
+    assert_eq!(floats.backing_validations(), 1);
+    assert!(floats.i64_values().is_err());
+    assert_eq!(floats.backing_validations(), 1, "a failed access after warm must not re-validate");
+}
+
+#[test]
+fn empty_and_degenerate_windows_round_trip() {
+    // Shapes at the edge of the sampled space: zero-length builds, empty
+    // cuts of warm backings, single-row grids.
+    drive(0, &[(2, 0, 0, 4), (1, 3, 0, 2), (0, 5, 9, 1)]);
+    drive(1, &[(1, 1, 1, 1), (2, 0, 0, 3)]);
+    let col = Column::from_i64(vec![9, 8, 7]);
+    col.i64_values().unwrap();
+    let empty = col.slice(3, 0).unwrap();
+    assert_eq!(empty.i64_values().unwrap(), &[] as &[i64]);
+    assert_eq!(empty.base_oid(), 3);
+    assert_eq!(col.backing_validations(), 1);
+}

@@ -10,14 +10,21 @@
 //! the view rewrite, every morsel cut of a candidate stream was a
 //! `to_vec`, charged once per SlicePart partition *and* per morsel.
 //!
+//! The same gate pins the typed-access caches on shared column blocks
+//! (`docs/architecture.md` §2.2): once a backing has been validated, a typed
+//! read through **any** window of it is a lock-free pointer load — zero heap
+//! allocations and zero re-validations, checked against the crate's
+//! validation counter.
+//!
 //! Everything runs in a single `#[test]` so no concurrent test body can
-//! allocate while the gate is open.
+//! allocate while the gate is open (and no concurrent typed access can move
+//! the global validation counter between our samples).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use apq_columnar::Catalog;
+use apq_columnar::{typed_cache_validations, Catalog, Column};
 use apq_engine::interpreter::execute_node;
 use apq_engine::plan::OperatorSpec;
 use apq_engine::{Chunk, JoinView, OidsView};
@@ -131,4 +138,27 @@ fn stream_view_cuts_are_alloc_free() {
     assert!(whole_view.shares_backing_with(oids_chunk.as_oids_view().unwrap()));
     assert_eq!(whole_view.len(), N);
     assert_eq!(whole_view.stream_base(), 0);
+
+    // Typed-access caches on shared column blocks: the first typed read
+    // below validates the backing (outside the gate); once warm, a typed
+    // read through the base view *and* through a disjoint window is a
+    // pointer load — no allocation, and the crate-wide validation counter
+    // must not move.
+    let col = Column::from_i64((0..N as i64).collect());
+    let window = col.slice(123_457, 64 * 1024).unwrap();
+    black_box(col.i64_values().expect("cold validation succeeds"));
+    assert_eq!(col.backing_validations(), 1, "warm-up should validate exactly once");
+    let validations = typed_cache_validations();
+    let (allocs, _) = allocations_during(|| {
+        let base = col.i64_values().expect("warm base read");
+        let cut = window.i64_values().expect("warm window read");
+        (base[0], cut[0])
+    });
+    assert_eq!(allocs, 0, "warm typed access allocated");
+    assert_eq!(
+        typed_cache_validations(),
+        validations,
+        "warm typed access re-validated a shared backing"
+    );
+    assert_eq!(col.backing_validations(), 1, "backing picked up a second validation");
 }

@@ -82,6 +82,19 @@ fn plain_sum(column: &str) -> Plan {
     p
 }
 
+/// `SELECT a, sum(b) FROM t GROUP BY a` — a fused `GroupAgg` pipeline
+/// terminal (keys and values grid-sliced on the same morsel grid), so the
+/// chaos matrix also lands faults inside grouped-aggregate pipelines.
+fn grouped_sum() -> Plan {
+    let mut p = Plan::new();
+    let k = scan(&mut p, "a");
+    let v = scan(&mut p, "b");
+    let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![k, v]);
+    let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+    p.set_root(merge);
+    p
+}
+
 fn workload() -> Vec<Plan> {
     vec![
         plain_sum("a"),
@@ -90,6 +103,7 @@ fn workload() -> Vec<Plan> {
         filtered_sum("b", 0),
         filtered_sum("a", 120),
         filtered_sum("b", 30),
+        grouped_sum(),
     ]
 }
 

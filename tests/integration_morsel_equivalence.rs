@@ -252,6 +252,93 @@ fn two_aligned_input_fused_stages_match_across_modes_policies_and_controller() {
     }
 }
 
+/// scan a, scan b → groupagg(a, b) → mergegrouped: the grouped aggregate
+/// fuses as the key scan's pipeline terminal, with b grid-sliced on the
+/// same morsel grid. Returns (plan, groupagg node).
+fn group_agg_plan(rows: usize, func: AggFunc) -> (Plan, usize) {
+    let mut p = Plan::new();
+    let k = scan_t(&mut p, "a", rows);
+    let v = scan_t(&mut p, "b", rows);
+    let group = p.add(OperatorSpec::GroupAgg { func }, vec![k, v]);
+    let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+    p.set_root(merge);
+    (p, group)
+}
+
+#[test]
+fn fused_group_agg_matches_across_modes_policies_sharing_and_controller() {
+    // GroupAgg now fuses as a pipeline terminal over range-aligned
+    // keys/values inputs: each morsel yields a partial grouped aggregate
+    // and the driver merges them in morsel order. Results must stay
+    // byte-identical to operator-at-a-time across 2 scheduler policies ×
+    // 2 execution modes × sharing on/off × controller on/off — on a row
+    // count that does not divide the morsel size (ragged last morsel).
+    let rows = 12_345;
+    let catalog = two_column_catalog(rows);
+    let reference = Engine::with_workers(WORKERS);
+    for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Count] {
+        let label = format!("groupagg {}", func.name());
+        let (plan, group_node) = group_agg_plan(rows, func);
+        let expected = assert_modes_agree(&label, &plan, &catalog, &reference);
+        for policy in SchedulerPolicy::ALL {
+            // The aggregate really fused and morsel-ran, and the profile
+            // says so.
+            let exec = morsel_engine(policy).execute(&plan, &catalog).expect("morsel executes");
+            let pipeline = exec
+                .profile
+                .pipelines
+                .iter()
+                .find(|p| p.nodes.contains(&group_node))
+                .unwrap_or_else(|| panic!("{label} [{policy}]: groupagg not in any pipeline"));
+            assert!(pipeline.n_morsels > 1, "{label} [{policy}]: groupagg ran a single morsel");
+            assert!(pipeline.groupagg_fused, "{label} [{policy}]: terminal flag not set");
+            assert_eq!(exec.profile.fused_groupagg_pipelines(), 1, "{label} [{policy}]");
+
+            // Sharing on, both modes: cold run populates the partial cache
+            // with the fused grouped terminal, the warm repeat may resume
+            // from it — either way the bytes must not move.
+            for mode in [ExecutionMode::OperatorAtATime, ExecutionMode::MorselDriven] {
+                let engine = Engine::new(
+                    EngineConfig::with_workers(WORKERS)
+                        .with_scheduler(policy)
+                        .with_execution_mode(mode)
+                        .with_morsel_rows(MORSEL_ROWS)
+                        .with_sharing(SharingConfig::default()),
+                );
+                for rep in 0..2 {
+                    let exec = engine.execute(&plan, &catalog).expect("sharing run executes");
+                    assert_eq!(
+                        exec.output, expected,
+                        "{label} [{policy}/{mode:?}] rep {rep}: sharing diverged"
+                    );
+                }
+            }
+
+            // Controller on (adaptive morsel re-sizing): still identical.
+            for rep in 0..3 {
+                let exec = adaptive_engine(policy).execute(&plan, &catalog).expect("executes");
+                assert_eq!(
+                    exec.output, expected,
+                    "{label} [{policy}] rep {rep}: adaptive run diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_group_agg_handles_empty_and_tiny_inputs() {
+    // Empty scans still run one morsel and publish an empty grouped
+    // result; single-morsel inputs take the n_morsels == 1 fast path. Both
+    // must agree with operator-at-a-time under both policies.
+    let catalog = two_column_catalog(12_345);
+    let reference = Engine::with_workers(WORKERS);
+    for rows in [0, 1, MORSEL_ROWS - 1, MORSEL_ROWS] {
+        let (plan, _) = group_agg_plan(rows, AggFunc::Sum);
+        assert_modes_agree(&format!("groupagg over {rows} rows"), &plan, &catalog, &reference);
+    }
+}
+
 #[test]
 fn mismatched_aligned_input_errors_like_operator_at_a_time() {
     // A col⊗col calc whose inputs disagree on length must fail identically

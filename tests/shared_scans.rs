@@ -168,6 +168,60 @@ fn repeated_aggregates_resume_from_cached_partials() {
 }
 
 #[test]
+fn repeated_group_aggregates_resume_from_cached_partials() {
+    // Fused GroupAgg terminals cache like scalar-aggregate terminals: the
+    // partial cache is chunk-typed, so a `Chunk::Grouped` merged in morsel
+    // order stores under the same catalog/grid/signature key and a repeat
+    // of the shape skips the whole pipeline.
+    let mut c = Catalog::new();
+    c.register(
+        TableBuilder::new("g")
+            .i64_column("k", (0..ROWS as i64).map(|x| x % 50).collect())
+            .i64_column("v", (0..ROWS as i64).map(|x| (x * 3) % 101).collect())
+            .build()
+            .unwrap(),
+    );
+    let catalog = Arc::new(c);
+    let service =
+        sharing_service(SchedulerPolicy::WorkStealing, ExecutionMode::MorselDriven, &catalog);
+    let mut p = Plan::new();
+    let k = p.add(
+        OperatorSpec::ScanColumn {
+            table: "g".into(),
+            column: "k".into(),
+            range: RowRange::new(0, ROWS),
+        },
+        vec![],
+    );
+    let v = p.add(
+        OperatorSpec::ScanColumn {
+            table: "g".into(),
+            column: "v".into(),
+            range: RowRange::new(0, ROWS),
+        },
+        vec![],
+    );
+    let group = p.add(OperatorSpec::GroupAgg { func: AggFunc::Sum }, vec![k, v]);
+    let merge = p.add(OperatorSpec::MergeGrouped, vec![group]);
+    p.set_root(merge);
+
+    let session = service.connect();
+    let first = session.submit(&p).expect("cold run executes");
+    let profile = first.profile.as_ref().expect("executions carry a profile");
+    assert!(
+        profile.fused_groupagg_pipelines() > 0,
+        "groupagg over range-aligned scans should fuse"
+    );
+    assert_eq!(service.stats().partials_reused, 0, "cold run cannot reuse partials");
+    let second = session.submit(&p).expect("warm run executes");
+    assert_eq!(second.output, first.output, "grouped partial reuse changed the result");
+    assert!(
+        service.stats().partials_reused > 0,
+        "identical grouped resubmission should resume from the cached partial"
+    );
+}
+
+#[test]
 fn per_table_invalidation_flushes_partials_and_windows() {
     let catalog = catalog();
     let service =
